@@ -1,0 +1,53 @@
+//! Index of the experiment harnesses that regenerate every table and
+//! figure of "The NoX Router" (MICRO 2011). Each harness is a binary in
+//! `src/bin/`; run them with `cargo run --release -p nox-bench --bin <name>`.
+
+fn main() {
+    println!("NoX reproduction — experiment harnesses:");
+    println!();
+    for (bin, what) in [
+        (
+            "figs237",
+            "Figures 2, 3, 7: golden cycle-by-cycle timing diagrams",
+        ),
+        ("table1", "Table 1: common system parameters"),
+        (
+            "table2",
+            "Table 2: router clock periods from the logical-effort model",
+        ),
+        (
+            "fig8",
+            "Figure 8: synthetic traffic latency vs injection bandwidth",
+        ),
+        (
+            "fig9",
+            "Figure 9: synthetic traffic energy-delay^2 vs injection bandwidth",
+        ),
+        ("fig10", "Figure 10: application average packet latency"),
+        (
+            "fig11",
+            "Figure 11: application energy-delay^2 (with paper comparison)",
+        ),
+        (
+            "fig12",
+            "Figure 12: network dynamic power breakdown @ 2 GB/s/node",
+        ),
+        (
+            "fig13_area",
+            "Figure 13 / section 6.2: router floorplans and area penalty",
+        ),
+        (
+            "ablation",
+            "beyond the paper: NoX with Scheduled mode disabled",
+        ),
+        ("cmesh", "section 8 future work: radix-8 concentrated mesh"),
+        (
+            "feedback",
+            "section 5.2 conjecture: closed-loop (self-throttling) CMP",
+        ),
+    ] {
+        println!("  cargo run --release -p nox-bench --bin {bin:<12} # {what}");
+    }
+    println!();
+    println!("Criterion micro-benchmarks: cargo bench -p nox-bench");
+}

@@ -1,0 +1,34 @@
+//! Experiment harness for the NoX router reproduction.
+//!
+//! Glues the cycle-accurate simulator (`nox-sim`), traffic generators
+//! (`nox-traffic`), and physical models (`nox-power`) into the runs that
+//! regenerate the paper's evaluation:
+//!
+//! * [`mod@sweep`] — injection-rate sweeps with saturation and crossover
+//!   detection (Figures 8 and 9);
+//! * [`apps`] — dual-network application-workload runs and the mean
+//!   energy-delay^2 comparison (Figures 10 and 11);
+//! * [`table`] — shared plain-text / CSV table rendering for all of the
+//!   `bench` harness binaries.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use nox_analysis::sweep::{sweep, SweepConfig};
+//! use nox_sim::config::Arch;
+//!
+//! let cfg = SweepConfig::uniform(vec![500.0, 1500.0, 2500.0]);
+//! let series = sweep(Arch::Nox, &cfg);
+//! println!("saturation: {:.0} MB/s/node", series.saturation_mbps(15.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod sweep;
+pub mod table;
+
+pub use apps::{mean_ed2_improvement_pct, run_workload, AppResult};
+pub use sweep::{crossover_mbps, sweep, ArchSeries, SweepConfig, SweepPoint};
+pub use table::Table;

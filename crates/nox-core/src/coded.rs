@@ -1,0 +1,249 @@
+//! XOR-coding algebra.
+//!
+//! The enabling property of the NoX architecture (§2.2 of the paper) is
+//! that XOR superposition is its own inverse: if inputs `A`, `B` and `C`
+//! collide, the output drives `A ^ B ^ C`; on the next cycle the losers
+//! drive `B ^ C`, and the receiver recreates `(A ^ B ^ C) ^ (B ^ C) = A`.
+//!
+//! In real hardware the words are opaque bit vectors. In a simulator we
+//! want to *verify* that every decode reproduces exactly one original flit,
+//! so [`Coded`] tracks, alongside the XORed payload of type `T`, the
+//! multiset (mod 2) of constituent symbols. XOR of payloads corresponds to
+//! symmetric difference of constituent sets; a word is *plain* exactly when
+//! one constituent remains.
+
+use std::fmt;
+
+/// Payload types that support bitwise XOR superposition.
+///
+/// Implemented for the unsigned integer types that model flit payloads.
+/// The operation must be associative, commutative, and self-inverse
+/// (`a.xor(a) == T::zero()`), which `^` on integers satisfies.
+pub trait Xor: Clone + Eq {
+    /// The identity element (all-zero word).
+    fn zero() -> Self;
+    /// Bitwise XOR.
+    fn xor(&self, other: &Self) -> Self;
+}
+
+macro_rules! impl_xor_uint {
+    ($($t:ty),*) => {$(
+        impl Xor for $t {
+            fn zero() -> Self { 0 }
+            fn xor(&self, other: &Self) -> Self { self ^ other }
+        }
+    )*};
+}
+
+impl_xor_uint!(u8, u16, u32, u64, u128);
+
+/// A (possibly XOR-superposed) link word carrying payload `T` and tagged
+/// with constituent identity keys.
+///
+/// Constituents are identified by `u64` keys (the simulator uses a packed
+/// packet-id/flit-sequence key). The key set is the symmetric difference of
+/// the key sets of all words XORed together, kept sorted.
+///
+/// # Example
+///
+/// ```
+/// use nox_core::Coded;
+///
+/// let a = Coded::plain(1, 0xAAu64);
+/// let b = Coded::plain(2, 0xBBu64);
+/// let c = Coded::plain(3, 0xCCu64);
+///
+/// let abc = a.xor(&b).xor(&c); // first collision cycle
+/// let bc = b.xor(&c);          // losers re-collide
+/// let decoded = abc.xor(&bc);  // receiver decode
+/// assert!(decoded.is_plain());
+/// assert_eq!(decoded, a);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Coded<T> {
+    payload: T,
+    keys: Vec<u64>,
+}
+
+impl<T: Xor> Coded<T> {
+    /// Creates a plain (un-encoded) word for a single constituent.
+    pub fn plain(key: u64, payload: T) -> Self {
+        Coded {
+            payload,
+            keys: vec![key],
+        }
+    }
+
+    /// Creates the empty superposition (zero payload, no constituents).
+    ///
+    /// Useful as a fold seed; an empty word never travels on a link.
+    pub fn empty() -> Self {
+        Coded {
+            payload: T::zero(),
+            keys: Vec::new(),
+        }
+    }
+
+    /// XOR-superposes two words: payloads XOR, key sets take their
+    /// symmetric difference.
+    pub fn xor(&self, other: &Coded<T>) -> Coded<T> {
+        let payload = self.payload.xor(&other.payload);
+        let mut keys = Vec::with_capacity(self.keys.len() + other.keys.len());
+        // Merge two sorted key lists, dropping pairs (symmetric difference).
+        let (mut i, mut j) = (0, 0);
+        while i < self.keys.len() && j < other.keys.len() {
+            match self.keys[i].cmp(&other.keys[j]) {
+                std::cmp::Ordering::Less => {
+                    keys.push(self.keys[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    keys.push(other.keys[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        keys.extend_from_slice(&self.keys[i..]);
+        keys.extend_from_slice(&other.keys[j..]);
+        Coded { payload, keys }
+    }
+
+    /// Number of constituent symbols still superposed in this word.
+    pub fn arity(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` when exactly one constituent remains — the word is directly
+    /// usable without decoding. Mirrors the *encoded* marker bit the NoX
+    /// router sends alongside each link word (inverted).
+    pub fn is_plain(&self) -> bool {
+        self.keys.len() == 1
+    }
+
+    /// `true` when more than one constituent is superposed.
+    pub fn is_encoded(&self) -> bool {
+        self.keys.len() > 1
+    }
+
+    /// `true` when no constituents remain (the zero word).
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The XORed payload bits.
+    pub fn payload(&self) -> &T {
+        &self.payload
+    }
+
+    /// The sorted constituent keys.
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// The sole constituent key of a plain word.
+    ///
+    /// Returns `None` if the word is encoded or empty.
+    pub fn sole_key(&self) -> Option<u64> {
+        if self.keys.len() == 1 {
+            Some(self.keys[0])
+        } else {
+            None
+        }
+    }
+
+    /// Consumes the word, returning its payload.
+    pub fn into_payload(self) -> T {
+        self.payload
+    }
+}
+
+impl<T: Xor> FromIterator<Coded<T>> for Coded<T> {
+    /// XOR-folds any number of words together, as the NoX switch does for
+    /// all uninhibited inputs of an output port.
+    fn from_iter<I: IntoIterator<Item = Coded<T>>>(iter: I) -> Self {
+        iter.into_iter().fold(Coded::empty(), |acc, w| acc.xor(&w))
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Coded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Coded({:?} <- {:?})", self.payload, self.keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_word_properties() {
+        let a = Coded::plain(7, 0x1234u64);
+        assert!(a.is_plain());
+        assert!(!a.is_encoded());
+        assert_eq!(a.arity(), 1);
+        assert_eq!(a.sole_key(), Some(7));
+        assert_eq!(*a.payload(), 0x1234);
+    }
+
+    #[test]
+    fn xor_is_self_inverse() {
+        let a = Coded::plain(1, 0xAAu64);
+        let zero = a.xor(&a);
+        assert!(zero.is_empty());
+        assert_eq!(*zero.payload(), 0);
+    }
+
+    #[test]
+    fn two_way_decode_matches_paper_example() {
+        // (B ^ C) ^ C = B
+        let b = Coded::plain(2, 0xB0u64);
+        let c = Coded::plain(3, 0xC0u64);
+        let bc = b.xor(&c);
+        assert!(bc.is_encoded());
+        assert_eq!(*bc.payload(), 0xB0 ^ 0xC0);
+        let decoded = bc.xor(&c);
+        assert_eq!(decoded, b);
+    }
+
+    #[test]
+    fn three_way_decode_matches_paper_example() {
+        // (A ^ B ^ C) ^ (B ^ C) = A
+        let a = Coded::plain(1, 0xA1u64);
+        let b = Coded::plain(2, 0xB2u64);
+        let c = Coded::plain(3, 0xC3u64);
+        let abc: Coded<u64> = [a.clone(), b.clone(), c.clone()].into_iter().collect();
+        let bc = b.xor(&c);
+        assert_eq!(abc.xor(&bc), a);
+    }
+
+    #[test]
+    fn from_iterator_of_nothing_is_empty() {
+        let z: Coded<u64> = std::iter::empty().collect();
+        assert!(z.is_empty());
+    }
+
+    #[test]
+    fn keys_stay_sorted_and_deduplicated() {
+        let a = Coded::plain(9, 1u64);
+        let b = Coded::plain(3, 2u64);
+        let ab = a.xor(&b);
+        assert_eq!(ab.keys(), &[3, 9]);
+        assert_eq!(ab.xor(&b).keys(), &[9]);
+    }
+
+    #[test]
+    fn sole_key_of_encoded_is_none() {
+        let ab = Coded::plain(1, 1u64).xor(&Coded::plain(2, 2u64));
+        assert_eq!(ab.sole_key(), None);
+    }
+
+    #[test]
+    fn debug_output_is_nonempty() {
+        let s = format!("{:?}", Coded::plain(1, 5u64));
+        assert!(s.contains("Coded"));
+    }
+}

@@ -1,0 +1,362 @@
+//! Port identifiers and port bit-sets.
+//!
+//! Routers in this workspace have a small, fixed number of ports (five for
+//! a mesh router: four directions plus the local injection/ejection port).
+//! All of the control logic in this crate — arbiters, masks, grant and
+//! service vectors — manipulates *sets* of input ports, which [`PortSet`]
+//! represents as a 32-bit mask.
+
+use std::fmt;
+
+/// Index of a router port (input or output), `0..32`.
+///
+/// A newtype rather than a bare `usize` so that port indices cannot be
+/// confused with node identifiers or flit sequence numbers.
+///
+/// # Example
+///
+/// ```
+/// use nox_core::{PortId, PortSet};
+/// let set = PortSet::from_iter([PortId(0), PortId(3)]);
+/// assert!(set.contains(PortId(3)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(pub u8);
+
+impl PortId {
+    /// Returns the port index as a `usize`, convenient for array indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<PortId> for usize {
+    fn from(p: PortId) -> usize {
+        p.index()
+    }
+}
+
+/// A set of router ports, stored as a 32-bit mask.
+///
+/// `PortSet` is the vocabulary type for the switch and arbitration masks of
+/// the NoX output controller (§2.6 of the paper) as well as request, grant
+/// and service vectors in every router model.
+///
+/// # Example
+///
+/// ```
+/// use nox_core::{PortId, PortSet};
+///
+/// let req = PortSet::from_iter([PortId(1), PortId(2)]);
+/// let mask = PortSet::all(5).without(PortId(2));
+/// let eligible = req.intersect(mask);
+/// assert_eq!(eligible, PortSet::from_iter([PortId(1)]));
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct PortSet {
+    bits: u32,
+}
+
+impl PortSet {
+    /// The empty set.
+    pub const EMPTY: PortSet = PortSet { bits: 0 };
+
+    /// Creates the empty set. Equivalent to [`PortSet::EMPTY`].
+    pub fn new() -> Self {
+        Self::EMPTY
+    }
+
+    /// Creates the full set over a universe of `n` ports (`{0, .., n-1}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 32`.
+    pub fn all(n: u8) -> Self {
+        assert!(n <= 32, "PortSet supports at most 32 ports, got {n}");
+        if n == 32 {
+            PortSet { bits: u32::MAX }
+        } else {
+            PortSet {
+                bits: (1u32 << n) - 1,
+            }
+        }
+    }
+
+    /// Creates a singleton set.
+    pub fn single(p: PortId) -> Self {
+        PortSet { bits: 1 << p.0 }
+    }
+
+    /// Returns the raw bit mask.
+    pub fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// Creates a set from a raw bit mask.
+    pub fn from_bits(bits: u32) -> Self {
+        PortSet { bits }
+    }
+
+    /// Returns `true` if `p` is a member.
+    pub fn contains(self, p: PortId) -> bool {
+        self.bits & (1 << p.0) != 0
+    }
+
+    /// Returns the number of member ports.
+    pub fn len(self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// Returns `true` if the set has no members.
+    pub fn is_empty(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Inserts `p` into the set.
+    pub fn insert(&mut self, p: PortId) {
+        self.bits |= 1 << p.0;
+    }
+
+    /// Removes `p` from the set.
+    pub fn remove(&mut self, p: PortId) {
+        self.bits &= !(1 << p.0);
+    }
+
+    /// Returns a copy of the set with `p` added.
+    pub fn with(self, p: PortId) -> Self {
+        PortSet {
+            bits: self.bits | (1 << p.0),
+        }
+    }
+
+    /// Returns a copy of the set with `p` removed.
+    pub fn without(self, p: PortId) -> Self {
+        PortSet {
+            bits: self.bits & !(1 << p.0),
+        }
+    }
+
+    /// Set intersection.
+    pub fn intersect(self, other: PortSet) -> Self {
+        PortSet {
+            bits: self.bits & other.bits,
+        }
+    }
+
+    /// Set union.
+    pub fn union(self, other: PortSet) -> Self {
+        PortSet {
+            bits: self.bits | other.bits,
+        }
+    }
+
+    /// Set difference (`self \ other`).
+    pub fn difference(self, other: PortSet) -> Self {
+        PortSet {
+            bits: self.bits & !other.bits,
+        }
+    }
+
+    /// Complement with respect to a universe of `n` ports.
+    ///
+    /// This is the "bitwise complement of the switch mask" operation the
+    /// paper uses to derive the arbitration mask in *Scheduled* mode.
+    pub fn complement(self, n: u8) -> Self {
+        PortSet {
+            bits: !self.bits & Self::all(n).bits,
+        }
+    }
+
+    /// Returns `true` if `self` is a subset of `other`.
+    pub fn is_subset(self, other: PortSet) -> bool {
+        self.bits & !other.bits == 0
+    }
+
+    /// Returns the sole member if the set is a singleton.
+    pub fn sole(self) -> Option<PortId> {
+        if self.len() == 1 {
+            Some(PortId(self.bits.trailing_zeros() as u8))
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over member ports in ascending index order.
+    pub fn iter(self) -> Iter {
+        Iter { bits: self.bits }
+    }
+}
+
+impl FromIterator<PortId> for PortSet {
+    fn from_iter<I: IntoIterator<Item = PortId>>(iter: I) -> Self {
+        let mut s = PortSet::EMPTY;
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+impl Extend<PortId> for PortSet {
+    fn extend<I: IntoIterator<Item = PortId>>(&mut self, iter: I) {
+        for p in iter {
+            self.insert(p);
+        }
+    }
+}
+
+impl IntoIterator for PortSet {
+    type Item = PortId;
+    type IntoIter = Iter;
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+/// Iterator over the members of a [`PortSet`], in ascending index order.
+#[derive(Clone, Debug)]
+pub struct Iter {
+    bits: u32,
+}
+
+impl Iterator for Iter {
+    type Item = PortId;
+
+    fn next(&mut self) -> Option<PortId> {
+        if self.bits == 0 {
+            return None;
+        }
+        let i = self.bits.trailing_zeros();
+        self.bits &= self.bits - 1;
+        Some(PortId(i as u8))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.bits.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+impl fmt::Debug for PortSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        let mut first = true;
+        for p in self.iter() {
+            if !first {
+                f.write_str(",")?;
+            }
+            write!(f, "{}", p.0)?;
+            first = false;
+        }
+        f.write_str("}")
+    }
+}
+
+impl fmt::Display for PortSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Binary for PortSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.bits, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_has_no_members() {
+        let s = PortSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.iter().count(), 0);
+        assert_eq!(s.sole(), None);
+    }
+
+    #[test]
+    fn all_covers_exactly_n_ports() {
+        let s = PortSet::all(5);
+        assert_eq!(s.len(), 5);
+        assert!(s.contains(PortId(0)));
+        assert!(s.contains(PortId(4)));
+        assert!(!s.contains(PortId(5)));
+    }
+
+    #[test]
+    fn all_32_is_full_mask() {
+        assert_eq!(PortSet::all(32).bits(), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 32")]
+    fn all_rejects_oversized_universe() {
+        let _ = PortSet::all(33);
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = PortSet::new();
+        s.insert(PortId(3));
+        assert!(s.contains(PortId(3)));
+        s.remove(PortId(3));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn complement_respects_universe() {
+        let s = PortSet::from_iter([PortId(1)]);
+        let c = s.complement(3);
+        assert_eq!(c, PortSet::from_iter([PortId(0), PortId(2)]));
+        // Complement twice is identity within the universe.
+        assert_eq!(c.complement(3), s);
+    }
+
+    #[test]
+    fn sole_identifies_singletons_only() {
+        assert_eq!(PortSet::single(PortId(4)).sole(), Some(PortId(4)));
+        assert_eq!(PortSet::from_iter([PortId(0), PortId(1)]).sole(), None);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = PortSet::from_iter([PortId(0), PortId(1), PortId(2)]);
+        let b = PortSet::from_iter([PortId(1), PortId(3)]);
+        assert_eq!(a.intersect(b), PortSet::single(PortId(1)));
+        assert_eq!(
+            a.union(b),
+            PortSet::from_iter([PortId(0), PortId(1), PortId(2), PortId(3)])
+        );
+        assert_eq!(a.difference(b), PortSet::from_iter([PortId(0), PortId(2)]));
+        assert!(PortSet::single(PortId(1)).is_subset(a));
+        assert!(!b.is_subset(a));
+    }
+
+    #[test]
+    fn iterator_ascending_and_exact() {
+        let s = PortSet::from_iter([PortId(4), PortId(0), PortId(2)]);
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![PortId(0), PortId(2), PortId(4)]);
+        assert_eq!(s.iter().len(), 3);
+    }
+
+    #[test]
+    fn debug_format_is_nonempty() {
+        assert_eq!(format!("{:?}", PortSet::EMPTY), "{}");
+        assert_eq!(
+            format!("{:?}", PortSet::from_iter([PortId(0), PortId(2)])),
+            "{0,2}"
+        );
+    }
+}

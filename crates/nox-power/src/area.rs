@@ -1,0 +1,211 @@
+//! Parametric floorplan area model (Figure 13, §6.2).
+//!
+//! The paper floorplans both routers manually in the style of Balfour &
+//! Dally: the five input SRAM buffers are stacked horizontally (bit
+//! interleaved) above the crossbar, whose height is one standard-cell row
+//! (2.52 um) per bit slice and whose width is set by wire spacing.
+//! Allocation, abort, and route-computation logic tucks into the spare
+//! corner and does not change the envelope. The NoX router adds a decode
+//! and masking column of 28.2 um on the right, growing the router tile by
+//! 17.2% (§6.2).
+
+use nox_sim::config::Arch;
+
+/// Standard-cell row height, micrometres (§6.2).
+pub const CELL_HEIGHT_UM: f64 = 2.52;
+
+/// Horizontal length added by the NoX decode and masking hardware (§6.2).
+pub const NOX_EXTRA_WIDTH_UM: f64 = 28.2;
+
+/// Geometry of one block in the floorplan.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Rect {
+    /// Width in micrometres.
+    pub w_um: f64,
+    /// Height in micrometres.
+    pub h_um: f64,
+}
+
+impl Rect {
+    /// Area in square micrometres.
+    pub fn area_um2(&self) -> f64 {
+        self.w_um * self.h_um
+    }
+}
+
+/// The router tile floorplan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Floorplan {
+    arch_is_nox: bool,
+    /// One input-buffer SRAM macro (4 x 64 bit, from the memory compiler).
+    pub sram: Rect,
+    /// Number of input ports (SRAMs stacked horizontally).
+    pub ports: u32,
+    /// The crossbar block.
+    pub crossbar: Rect,
+    /// NoX-only decode + masking column (zero-width for baselines).
+    pub decode_column: Rect,
+}
+
+impl Floorplan {
+    /// The baseline (multiplexer-crossbar) router floorplan.
+    pub fn baseline() -> Self {
+        let ports = 5;
+        // 4-deep, 64-bit, single-read single-write SRAM macro dimensions
+        // from memory-compiler-style density at 65 nm: the five macros
+        // side by side set the router width.
+        let sram = Rect {
+            w_um: 32.79,
+            h_um: 27.0,
+        };
+        // Crossbar: 64 bit-slice rows of standard cells; width set by the
+        // 5 x 64 vertical wires at 0.4 um signal pitch plus drivers.
+        let crossbar = Rect {
+            w_um: sram.w_um * ports as f64,    // pitch-matched to the buffers
+            h_um: 64.0 / 4.0 * CELL_HEIGHT_UM, // 4 bits interleaved per row
+        };
+        Floorplan {
+            arch_is_nox: false,
+            sram,
+            ports,
+            crossbar,
+            decode_column: Rect {
+                w_um: 0.0,
+                h_um: 0.0,
+            },
+        }
+    }
+
+    /// The NoX router floorplan: baseline plus the decode/masking column.
+    pub fn nox() -> Self {
+        let mut f = Floorplan::baseline();
+        f.arch_is_nox = true;
+        f.decode_column = Rect {
+            w_um: NOX_EXTRA_WIDTH_UM,
+            h_um: f.height_um(),
+        };
+        f
+    }
+
+    /// Floorplan for an architecture (the three baselines share one).
+    pub fn for_arch(arch: Arch) -> Self {
+        match arch {
+            Arch::Nox => Floorplan::nox(),
+            _ => Floorplan::baseline(),
+        }
+    }
+
+    /// Router tile width, micrometres.
+    pub fn width_um(&self) -> f64 {
+        self.sram.w_um * self.ports as f64 + self.decode_column.w_um
+    }
+
+    /// Router tile height, micrometres.
+    pub fn height_um(&self) -> f64 {
+        self.sram.h_um + self.crossbar.h_um
+    }
+
+    /// Router tile area, square micrometres.
+    pub fn area_um2(&self) -> f64 {
+        self.width_um() * self.height_um()
+    }
+
+    /// Area overhead relative to the baseline router (0 for baselines).
+    pub fn overhead_vs_baseline(&self) -> f64 {
+        self.area_um2() / Floorplan::baseline().area_um2() - 1.0
+    }
+
+    /// One line per block, for the area harness.
+    pub fn report(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "  {:<28} {:6.1} x {:6.1} um  ({:8.1} um2) x{}",
+            "input SRAM (4x64b)",
+            self.sram.w_um,
+            self.sram.h_um,
+            self.sram.area_um2(),
+            self.ports
+        );
+        let _ = writeln!(
+            s,
+            "  {:<28} {:6.1} x {:6.1} um  ({:8.1} um2)",
+            "crossbar",
+            self.crossbar.w_um,
+            self.crossbar.h_um,
+            self.crossbar.area_um2()
+        );
+        if self.decode_column.w_um > 0.0 {
+            let _ = writeln!(
+                s,
+                "  {:<28} {:6.1} x {:6.1} um  ({:8.1} um2)",
+                "decode + masking column",
+                self.decode_column.w_um,
+                self.decode_column.h_um,
+                self.decode_column.area_um2()
+            );
+        }
+        let _ = writeln!(
+            s,
+            "  {:<28} {:6.1} x {:6.1} um  ({:8.1} um2)",
+            "router tile",
+            self.width_um(),
+            self.height_um(),
+            self.area_um2()
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nox_area_penalty_is_17_2_percent() {
+        let overhead = Floorplan::nox().overhead_vs_baseline();
+        assert!(
+            (overhead - 0.172).abs() < 0.005,
+            "NoX area penalty {:.1}% should be 17.2% (§6.2)",
+            overhead * 100.0
+        );
+    }
+
+    #[test]
+    fn nox_extra_width_is_28_2_um() {
+        let d = Floorplan::nox().width_um() - Floorplan::baseline().width_um();
+        assert!((d - 28.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baselines_share_a_floorplan() {
+        assert_eq!(
+            Floorplan::for_arch(Arch::NonSpec),
+            Floorplan::for_arch(Arch::SpecFast)
+        );
+        assert_ne!(
+            Floorplan::for_arch(Arch::Nox),
+            Floorplan::for_arch(Arch::SpecAccurate)
+        );
+    }
+
+    #[test]
+    fn crossbar_height_uses_cell_rows() {
+        let f = Floorplan::baseline();
+        let rows = f.crossbar.h_um / CELL_HEIGHT_UM;
+        assert!((rows - rows.round()).abs() < 1e-9, "whole cell rows");
+    }
+
+    #[test]
+    fn decode_column_spans_full_height() {
+        let f = Floorplan::nox();
+        assert!((f.decode_column.h_um - f.height_um()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_mentions_every_block() {
+        let r = Floorplan::nox().report();
+        assert!(r.contains("SRAM") && r.contains("crossbar") && r.contains("decode"));
+    }
+}

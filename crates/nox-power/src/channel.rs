@@ -1,0 +1,156 @@
+//! Inter-tile channel delay and energy model.
+//!
+//! The paper uses the channel models of Balfour & Dally and Mui et al.
+//! with parameters extracted from a TSMC 65 nm library to size repeaters
+//! for the 2 mm inter-tile links (§4), yielding the 98 ps link latency
+//! folded into every clock period (§6.1). This module implements the
+//! classic optimally-repeated RC wire (Bakoglu): delay `2.5 *
+//! sqrt(R0*C0*Rw*Cw)` with repeater capacitance overhead on the energy
+//! side. Constants are 65 nm-class values calibrated so the paper's 2 mm
+//! link comes out at 98 ps.
+
+/// An optimally-repeated on-chip wire of a given length.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Channel {
+    /// Wire length in millimetres.
+    pub length_mm: f64,
+    /// Wire resistance per millimetre (ohm).
+    pub r_ohm_per_mm: f64,
+    /// Wire capacitance per millimetre (femtofarad).
+    pub c_ff_per_mm: f64,
+    /// Intrinsic repeater delay `R0*C0` in picoseconds.
+    pub r0c0_ps: f64,
+    /// Supply voltage (volt).
+    pub vdd: f64,
+    /// Signal activity factor (transitions per bit per transfer).
+    pub activity: f64,
+    /// Capacitance overhead factor for inserted repeaters.
+    pub repeater_cap_overhead: f64,
+    /// Miller/coupling factor for switching against neighbouring wires in
+    /// the 64-bit bus.
+    pub coupling_factor: f64,
+    /// Bits per transfer (link width).
+    pub bits: u32,
+}
+
+impl Channel {
+    /// The paper's 2 mm, 64-bit inter-tile channel (Table 1) with 65 nm
+    /// constants calibrated to the 98 ps latency of §6.1.
+    pub fn paper() -> Self {
+        Channel {
+            length_mm: 2.0,
+            r_ohm_per_mm: 260.0,
+            c_ff_per_mm: 295.0,
+            r0c0_ps: 5.0,
+            vdd: 1.0,
+            activity: 0.5,
+            repeater_cap_overhead: 1.25,
+            coupling_factor: 1.24,
+            bits: 64,
+        }
+    }
+
+    /// Total wire resistance (ohm).
+    pub fn r_total_ohm(&self) -> f64 {
+        self.r_ohm_per_mm * self.length_mm
+    }
+
+    /// Total wire capacitance (femtofarad).
+    pub fn c_total_ff(&self) -> f64 {
+        self.c_ff_per_mm * self.length_mm
+    }
+
+    /// End-to-end delay of the optimally repeated wire, in picoseconds:
+    /// `2.5 * sqrt(R0C0 * Rw * Cw)` (Bakoglu).
+    pub fn delay_ps(&self) -> f64 {
+        // Rw*Cw in ps: ohm * fF = 1e-15 s = 1e-3 ps.
+        let rw_cw_ps = self.r_total_ohm() * self.c_total_ff() * 1e-3;
+        2.5 * (self.r0c0_ps * rw_cw_ps).sqrt()
+    }
+
+    /// Number of repeaters that minimizes delay (Bakoglu):
+    /// `sqrt(0.4*Rw*Cw / (0.7*R0*C0))`.
+    pub fn optimal_repeaters(&self) -> f64 {
+        let rw_cw_ps = self.r_total_ohm() * self.c_total_ff() * 1e-3;
+        (0.4 * rw_cw_ps / (0.7 * self.r0c0_ps)).sqrt()
+    }
+
+    /// Dynamic energy of transferring one bit end to end, in picojoule:
+    /// `activity * C_total * overhead * Vdd^2`.
+    pub fn energy_per_bit_pj(&self) -> f64 {
+        // fF * V^2 = 1e-15 J = 1e-3 pJ.
+        self.activity
+            * self.c_total_ff()
+            * self.repeater_cap_overhead
+            * self.coupling_factor
+            * self.vdd
+            * self.vdd
+            * 1e-3
+    }
+
+    /// Dynamic energy of one full-width transfer (one flit), picojoule.
+    pub fn energy_per_flit_pj(&self) -> f64 {
+        self.energy_per_bit_pj() * self.bits as f64
+    }
+}
+
+impl Default for Channel {
+    fn default() -> Self {
+        Channel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_channel_hits_98ps() {
+        let d = Channel::paper().delay_ps();
+        assert!(
+            (d - 98.0).abs() < 1.5,
+            "2 mm channel delay {d:.1} ps should be ~98 ps (§6.1)"
+        );
+    }
+
+    #[test]
+    fn delay_scales_superlinearly_with_length_without_more_repeaters() {
+        // With optimal repeaters delay grows linearly in length (since
+        // Rw*Cw grows quadratically and the sqrt halves it).
+        let mut c = Channel::paper();
+        let d2 = c.delay_ps();
+        c.length_mm = 4.0;
+        let d4 = c.delay_ps();
+        assert!(
+            (d4 / d2 - 2.0).abs() < 0.01,
+            "repeated wire delay is linear"
+        );
+    }
+
+    #[test]
+    fn energy_scales_linearly_with_length_and_width() {
+        let base = Channel::paper();
+        let mut long = base;
+        long.length_mm = 4.0;
+        assert!((long.energy_per_flit_pj() / base.energy_per_flit_pj() - 2.0).abs() < 1e-9);
+        let mut wide = base;
+        wide.bits = 128;
+        assert!((wide.energy_per_flit_pj() / base.energy_per_flit_pj() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeater_count_is_physical() {
+        let k = Channel::paper().optimal_repeaters();
+        assert!(
+            k > 1.0 && k < 20.0,
+            "2 mm at 65 nm wants a few repeaters, got {k:.1}"
+        );
+    }
+
+    #[test]
+    fn per_flit_energy_is_65nm_plausible() {
+        // ~0.3-0.5 pJ/bit for a repeated 2 mm wire at 1 V.
+        let e = Channel::paper().energy_per_bit_pj();
+        assert!((0.2..0.8).contains(&e), "energy {e} pJ/bit out of range");
+    }
+}

@@ -1,0 +1,44 @@
+//! Physical models for the NoX router reproduction: energy, timing,
+//! channel, and area.
+//!
+//! The paper's methodology (§4) combines Synopsys synthesis, memory
+//! compiler extraction, SPICE, manual floorplanning, and analytical
+//! channel models into four scalar clock periods (Table 2), per-event
+//! energies (Figure 12), and router areas (Figure 13). None of that
+//! toolchain is available offline, so this crate rebuilds each result
+//! analytically, calibrated to the paper's published anchors — the
+//! substitutions are catalogued in `DESIGN.md`:
+//!
+//! * [`channel`] — optimally repeated 2 mm wire: 98 ps delay and the
+//!   per-flit link energy that dominates network power;
+//! * [`timing`] — logical-effort critical paths reproducing Table 2
+//!   (0.92 / 0.69 / 0.72 / 0.76 ns) and the ~40 ps decode overhead;
+//! * [`energy`] — event-energy model mapping simulator counters onto the
+//!   Figure 12 power breakdown and the energy-delay^2 metric;
+//! * [`area`] — parametric floorplan reproducing Figure 13's 17.2% NoX
+//!   area penalty and 28.2 um decode column.
+//!
+//! # Example
+//!
+//! ```
+//! use nox_power::timing::CriticalPath;
+//! use nox_sim::config::Arch;
+//!
+//! for arch in Arch::ALL {
+//!     let period = CriticalPath::new(arch).period_table2_ps();
+//!     assert_eq!(period, arch.clock_ps()); // Table 2 cross-check
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod channel;
+pub mod energy;
+pub mod timing;
+
+pub use area::Floorplan;
+pub use channel::Channel;
+pub use energy::{energy_delay2, energy_per_packet_pj, EnergyBreakdown, EnergyModel};
+pub use timing::CriticalPath;

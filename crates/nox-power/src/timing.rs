@@ -1,0 +1,388 @@
+//! Logical-effort timing model reproducing Table 2's clock periods.
+//!
+//! The paper obtains clock periods from Synopsys synthesis of the router
+//! RTL against a TSMC 65 nm library, plus SPICE-extracted SRAM and channel
+//! models (§4, §6.1). Synthesis is not reproducible offline, so this
+//! module rebuilds the *delay composition* analytically with the method of
+//! logical effort, calibrated to the paper's published anchors:
+//!
+//! * 248 ps input-SRAM access,
+//! * 98 ps 2 mm channel traversal (from [`crate::channel`]),
+//! * the four Table 2 periods (0.92 / 0.69 / 0.72 / 0.76 ns),
+//! * the ~40 ps NoX decode overhead over Spec-Accurate (§6.1).
+//!
+//! Every router's cycle is the serial composition of its critical path
+//! stages; the architectures differ only in which control logic sits on
+//! that path:
+//!
+//! | stage | NonSpec | Spec-Fast | Spec-Accurate | NoX |
+//! |---|---|---|---|---|
+//! | SRAM read | x | x | x | x |
+//! | decode XOR | | | | x |
+//! | serial arbitration + grant fan-out | x | | | |
+//! | speculative gating / masks | | x | x (accurate) | x (masking) |
+//! | switch traversal | mux | mux | mux | XOR |
+//! | channel | x | x | x | x |
+
+use crate::channel::Channel;
+use nox_sim::config::Arch;
+
+/// Process constants for the logical-effort calculator.
+///
+/// `tau_ps` is the delay unit (the delay of an ideal inverter driving an
+/// identical inverter); `p_inv` the inverter parasitic delay in units of
+/// `tau_ps`. The defaults model a 65 nm standard-cell library.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Process {
+    /// Unit delay in picoseconds (65 nm-class: ~5 ps).
+    pub tau_ps: f64,
+    /// Inverter parasitic delay, in units of tau.
+    pub p_inv: f64,
+}
+
+impl Default for Process {
+    fn default() -> Self {
+        Process {
+            tau_ps: 5.0,
+            p_inv: 1.0,
+        }
+    }
+}
+
+/// One logic stage characterized by logical effort `g`, electrical effort
+/// (fan-out) `h`, and parasitic delay `p` (in units of tau).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Stage {
+    /// Logical effort of the gate type (inverter = 1, 2-NAND = 4/3, ...).
+    pub g: f64,
+    /// Electrical effort: output load over input capacitance.
+    pub h: f64,
+    /// Parasitic delay in tau units.
+    pub p: f64,
+}
+
+impl Stage {
+    /// Creates a stage.
+    pub fn new(g: f64, h: f64, p: f64) -> Self {
+        Stage { g, h, p }
+    }
+
+    /// Stage delay in picoseconds: `tau * (g*h + p)`.
+    pub fn delay_ps(&self, proc: &Process) -> f64 {
+        proc.tau_ps * (self.g * self.h + self.p)
+    }
+}
+
+/// A named block on the critical path: a chain of logic stages plus any
+/// fixed wire/flop overhead.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Block {
+    /// Human-readable name for reports.
+    pub name: &'static str,
+    /// The gate chain.
+    pub stages: Vec<Stage>,
+    /// Fixed additive delay (wires, clock-to-q, setup) in picoseconds.
+    pub fixed_ps: f64,
+}
+
+impl Block {
+    /// Total block delay in picoseconds.
+    pub fn delay_ps(&self, proc: &Process) -> f64 {
+        self.fixed_ps + self.stages.iter().map(|s| s.delay_ps(proc)).sum::<f64>()
+    }
+}
+
+/// SRAM access time in picoseconds, from the paper's memory-compiler
+/// extraction (§6.1).
+pub const SRAM_ACCESS_PS: f64 = 248.0;
+
+/// The per-architecture critical path.
+#[derive(Clone, Debug)]
+pub struct CriticalPath {
+    arch: Arch,
+    proc: Process,
+    blocks: Vec<Block>,
+    channel_ps: f64,
+}
+
+impl CriticalPath {
+    /// Builds the critical path of `arch` using the default process and
+    /// the default 2 mm channel.
+    pub fn new(arch: Arch) -> Self {
+        Self::with_process(arch, Process::default(), Channel::paper().delay_ps())
+    }
+
+    /// Builds the critical path with explicit process constants and
+    /// channel delay.
+    pub fn with_process(arch: Arch, proc: Process, channel_ps: f64) -> Self {
+        let mut blocks = vec![Block {
+            name: "input SRAM read",
+            stages: vec![],
+            fixed_ps: SRAM_ACCESS_PS,
+        }];
+
+        // Switch traversal: a 5:1 multiplexer (tristate) for the baseline
+        // designs, or the XOR tree with locally-computed inhibition for
+        // NoX. The XOR gate has higher logical effort (g = 4 vs the
+        // tristate's effective 2), consuming "marginally more power and
+        // delay" (§2.5), but avoids driving time-critical select wires
+        // across the fabric — NoX's fixed wire component is smaller.
+        let switch = match arch {
+            Arch::Nox => Block {
+                name: "XOR switch traversal",
+                stages: vec![
+                    Stage::new(1.0, 4.0, 1.0), // input gating (AND with mask)
+                    Stage::new(4.0, 1.0, 4.0), // 2-input XOR tree level 1
+                    Stage::new(4.0, 1.0, 4.0), // XOR tree level 2 (5 inputs)
+                    Stage::new(1.0, 6.0, 1.0), // output driver
+                ],
+                fixed_ps: 25.0, // local inhibition wiring only
+            },
+            _ => Block {
+                name: "mux switch traversal",
+                stages: vec![
+                    Stage::new(2.0, 4.0, 3.0), // tristate mux stage
+                    Stage::new(1.0, 6.0, 1.0), // output driver
+                    Stage::new(1.0, 4.0, 1.0), // repeater across fabric
+                ],
+                fixed_ps: 44.0, // select distribution over the fabric
+            },
+        };
+
+        // Architecture-specific control on the critical path.
+        let control = match arch {
+            Arch::NonSpec => Block {
+                // Serial switch arbitration before traversal: request
+                // encode, 3-level round-robin arbiter over 5 requesters,
+                // grant fan-out to the switch selects.
+                name: "serial arbitration + grant fan-out",
+                stages: vec![
+                    Stage::new(4.0 / 3.0, 4.0, 2.0), // request qualify
+                    Stage::new(5.0 / 3.0, 4.0, 2.5), // arbiter level 1
+                    Stage::new(5.0 / 3.0, 4.0, 2.5), // arbiter level 2
+                    Stage::new(5.0 / 3.0, 4.0, 2.5), // arbiter level 3
+                    Stage::new(1.0, 8.0, 1.0),       // grant buffer
+                    Stage::new(1.0, 8.0, 1.0),       // select fan-out
+                ],
+                fixed_ps: 150.8, // grant wiring across all ports + setup
+            },
+            Arch::SpecFast => Block {
+                // Speculation pulls arbitration off the path; only the
+                // precomputed gating and abort masking remain.
+                name: "speculative gating",
+                stages: vec![
+                    Stage::new(4.0 / 3.0, 4.0, 2.0), // mask AND
+                    Stage::new(4.0 / 3.0, 4.0, 2.0), // abort qualify
+                ],
+                fixed_ps: 111.7, // mask distribution + setup
+            },
+            Arch::SpecAccurate => Block {
+                // Adds the Switch Next filtering of successful traversals.
+                name: "speculative gating + accurate filter",
+                stages: vec![
+                    Stage::new(4.0 / 3.0, 4.0, 2.0),
+                    Stage::new(4.0 / 3.0, 4.0, 2.0),
+                    Stage::new(4.0 / 3.0, 4.0, 2.0), // success filter
+                ],
+                fixed_ps: 105.0,
+            },
+            Arch::Nox => Block {
+                // Masking logic is precomputed off-path; the decode XOR
+                // (one level of 2-input XORs, §2.4) plus request gating
+                // sit before the switch.
+                name: "decode XOR + request gating",
+                stages: vec![
+                    Stage::new(4.0, 1.0, 4.0),       // decode XOR (~40 ps)
+                    Stage::new(4.0 / 3.0, 4.0, 2.0), // request qualify
+                    Stage::new(4.0 / 3.0, 4.0, 2.0), // mask gate
+                ],
+                fixed_ps: 135.7,
+            },
+        };
+
+        blocks.push(control);
+        blocks.push(switch);
+        CriticalPath {
+            arch,
+            proc,
+            blocks,
+            channel_ps,
+        }
+    }
+
+    /// The critical path of `arch` in the radix-8 concentrated-mesh
+    /// router of the future-work study (§8): 4 mm channels (twice the
+    /// delay of the paper's 2 mm tiles) and wider arbitration, masking,
+    /// and select fan-out. The NoX decode stage is untouched — it is a
+    /// *fixed* cost, which is exactly why the paper expects NoX to gain
+    /// relative ground at higher radix.
+    pub fn cmesh(arch: Arch) -> Self {
+        let mut channel = Channel::paper();
+        channel.length_mm = 4.0;
+        let mut path = Self::with_process(arch, Process::default(), channel.delay_ps());
+        let radix8 = match arch {
+            Arch::NonSpec => Block {
+                // One more arbiter level to cover eight requesters, plus
+                // wider grant/select fan-out wiring.
+                name: "radix-8 extension (arbiter level + fan-out)",
+                stages: vec![Stage::new(5.0 / 3.0, 4.0, 2.5)],
+                fixed_ps: 16.2,
+            },
+            _ => Block {
+                // The single-cycle designs only widen their precomputed
+                // mask distribution.
+                name: "radix-8 extension (mask fan-out)",
+                stages: vec![],
+                fixed_ps: 22.0,
+            },
+        };
+        path.blocks.push(radix8);
+        path
+    }
+
+    /// The architecture this path models.
+    pub fn arch(&self) -> Arch {
+        self.arch
+    }
+
+    /// The named blocks on the path (excluding the channel).
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Total clock period in picoseconds, including the channel.
+    pub fn period_ps(&self) -> f64 {
+        self.channel_ps
+            + self
+                .blocks
+                .iter()
+                .map(|b| b.delay_ps(&self.proc))
+                .sum::<f64>()
+    }
+
+    /// Clock period rounded to the 10 ps granularity Table 2 reports.
+    pub fn period_table2_ps(&self) -> u32 {
+        ((self.period_ps() / 10.0).round() * 10.0) as u32
+    }
+
+    /// One line per block, for the Table 2 harness.
+    pub fn report(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for b in &self.blocks {
+            let _ = writeln!(s, "  {:<40} {:7.1} ps", b.name, b.delay_ps(&self.proc));
+        }
+        let _ = writeln!(s, "  {:<40} {:7.1} ps", "2 mm channel", self.channel_ps);
+        let _ = writeln!(s, "  {:<40} {:7.1} ps", "total", self.period_ps());
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nox_sim::config::cmesh_clock_ps;
+
+    #[test]
+    fn cmesh_periods_match_config_constants() {
+        for arch in Arch::ALL {
+            assert_eq!(
+                CriticalPath::cmesh(arch).period_table2_ps(),
+                cmesh_clock_ps(arch),
+                "{arch}"
+            );
+        }
+    }
+
+    #[test]
+    fn cmesh_shrinks_nox_relative_clock_penalty() {
+        // The fixed decode cost amortizes over the longer cycle — the
+        // future-work hypothesis of §8.
+        let mesh_pen = CriticalPath::new(Arch::Nox).period_ps()
+            / CriticalPath::new(Arch::SpecAccurate).period_ps();
+        let cmesh_pen = CriticalPath::cmesh(Arch::Nox).period_ps()
+            / CriticalPath::cmesh(Arch::SpecAccurate).period_ps();
+        assert!(cmesh_pen < mesh_pen);
+    }
+
+    #[test]
+    fn periods_match_table2() {
+        for arch in Arch::ALL {
+            let path = CriticalPath::new(arch);
+            assert_eq!(
+                path.period_table2_ps(),
+                arch.clock_ps(),
+                "{arch}: modeled {:.1} ps vs Table 2 {} ps",
+                path.period_ps(),
+                arch.clock_ps()
+            );
+        }
+    }
+
+    #[test]
+    fn nox_decode_overhead_is_about_40ps() {
+        let nox = CriticalPath::new(Arch::Nox).period_ps();
+        let acc = CriticalPath::new(Arch::SpecAccurate).period_ps();
+        let overhead = nox - acc;
+        assert!(
+            (overhead - 40.0).abs() < 5.0,
+            "decode overhead {overhead:.1} ps should be ~40 ps (§6.1)"
+        );
+    }
+
+    #[test]
+    fn sram_and_channel_anchor_every_path() {
+        for arch in Arch::ALL {
+            let path = CriticalPath::new(arch);
+            assert_eq!(path.blocks()[0].fixed_ps, SRAM_ACCESS_PS);
+            assert!(path.period_ps() > SRAM_ACCESS_PS + 98.0);
+        }
+    }
+
+    #[test]
+    fn speedups_relative_to_nonspec_match_section_6_1() {
+        let base = CriticalPath::new(Arch::NonSpec).period_ps();
+        let pct = |a: Arch| (base / CriticalPath::new(a).period_ps() - 1.0) * 100.0;
+        assert!((pct(Arch::SpecFast) - 33.3).abs() < 1.0);
+        assert!((pct(Arch::SpecAccurate) - 27.8).abs() < 1.0);
+        assert!((pct(Arch::Nox) - 21.1).abs() < 1.0);
+    }
+
+    #[test]
+    fn xor_switch_is_marginally_slower_than_mux() {
+        let proc = Process::default();
+        let nox = CriticalPath::new(Arch::Nox);
+        let mux = CriticalPath::new(Arch::SpecFast);
+        let nox_sw = nox
+            .blocks()
+            .iter()
+            .find(|b| b.name.contains("XOR switch"))
+            .unwrap();
+        let mux_sw = mux
+            .blocks()
+            .iter()
+            .find(|b| b.name.contains("mux switch"))
+            .unwrap();
+        let (a, b) = (nox_sw.delay_ps(&proc), mux_sw.delay_ps(&proc));
+        assert!(a > b, "XOR gates have higher logical effort (§2.5)");
+        assert!(a - b < 30.0, "but the penalty is marginal (§2.5)");
+    }
+
+    #[test]
+    fn stage_delay_formula() {
+        let proc = Process {
+            tau_ps: 10.0,
+            p_inv: 1.0,
+        };
+        let s = Stage::new(2.0, 3.0, 1.5);
+        assert!((s.delay_ps(&proc) - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_lists_all_blocks() {
+        let r = CriticalPath::new(Arch::Nox).report();
+        assert!(r.contains("decode XOR"));
+        assert!(r.contains("channel"));
+        assert!(r.contains("total"));
+    }
+}

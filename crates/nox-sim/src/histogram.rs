@@ -1,0 +1,232 @@
+//! Log-bucketed latency histogram with percentile queries.
+//!
+//! Mean latency (Figures 8 and 10) hides the tails that bursty
+//! self-similar traffic creates (§5.1). [`LogHistogram`] records samples
+//! into logarithmically spaced buckets — constant memory, O(1) insert —
+//! and answers percentile queries with bounded relative error, so sweeps
+//! can report p95/p99 alongside the mean without storing per-packet data.
+
+/// A histogram over positive samples with logarithmically spaced buckets.
+///
+/// Buckets are spaced by a fixed growth ratio; a percentile query returns
+/// the geometric centre of the bucket containing it, giving a relative
+/// error bounded by half the ratio. The default configuration covers
+/// 0.1 ns .. ~100 us at 5% resolution in under 300 buckets.
+///
+/// # Example
+///
+/// ```
+/// use nox_sim::histogram::LogHistogram;
+///
+/// let mut h = LogHistogram::default_latency();
+/// for i in 1..=100 {
+///     h.record(i as f64);
+/// }
+/// assert_eq!(h.count(), 100);
+/// let p50 = h.percentile(50.0);
+/// assert!((45.0..56.0).contains(&p50), "p50 = {p50}");
+/// let p99 = h.percentile(99.0);
+/// assert!((93.0..106.0).contains(&p99), "p99 = {p99}");
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogHistogram {
+    min_value: f64,
+    ratio: f64,
+    log_ratio: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    total: u64,
+}
+
+impl LogHistogram {
+    /// Creates a histogram covering `[min_value, min_value * ratio^buckets)`
+    /// with buckets spaced by `ratio`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_value <= 0`, `ratio <= 1`, or `buckets == 0`.
+    pub fn new(min_value: f64, ratio: f64, buckets: usize) -> Self {
+        assert!(min_value > 0.0, "min_value must be positive");
+        assert!(ratio > 1.0, "bucket ratio must exceed 1");
+        assert!(buckets > 0, "need at least one bucket");
+        LogHistogram {
+            min_value,
+            ratio,
+            log_ratio: ratio.ln(),
+            counts: vec![0; buckets],
+            underflow: 0,
+            total: 0,
+        }
+    }
+
+    /// The default configuration for packet latencies in nanoseconds:
+    /// 0.1 ns to ~0.1 ms at ~5% relative resolution.
+    pub fn default_latency() -> Self {
+        // 0.1 * 1.05^n >= 1e5  =>  n ~= 284.
+        LogHistogram::new(0.1, 1.05, 290)
+    }
+
+    /// Records one sample. Samples below the minimum are counted in an
+    /// underflow bucket; samples beyond the top land in the last bucket.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        // NaN and sub-minimum samples both land in the underflow bucket.
+        if x.partial_cmp(&self.min_value) != Some(std::cmp::Ordering::Greater)
+            && x != self.min_value
+        {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x / self.min_value).ln() / self.log_ratio) as usize;
+        let idx = idx.min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The value at the given percentile (0 < p <= 100), or 0 for an
+    /// empty histogram. Returns the geometric centre of the bucket
+    /// holding the percentile sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = ((p / 100.0) * self.total as f64).ceil() as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return self.min_value;
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Geometric centre of bucket i.
+                return self.min_value * self.ratio.powf(i as f64 + 0.5);
+            }
+        }
+        // All remaining mass in the overflow tail of the last bucket.
+        self.min_value * self.ratio.powf(self.counts.len() as f64)
+    }
+
+    /// Merges another histogram with identical configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configurations differ.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(self.min_value, other.min_value, "mismatched histograms");
+        assert_eq!(self.ratio, other.ratio, "mismatched histograms");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "mismatched histograms"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.total += other.total;
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::default_latency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let mut h = LogHistogram::default_latency();
+        for i in 1..=1000u32 {
+            h.record(i as f64 * 0.37);
+        }
+        let ps: Vec<f64> = [10.0, 50.0, 90.0, 99.0, 100.0]
+            .iter()
+            .map(|&p| h.percentile(p))
+            .collect();
+        assert!(ps.windows(2).all(|w| w[0] <= w[1]), "{ps:?}");
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut h = LogHistogram::new(1.0, 1.05, 300);
+        for _ in 0..100 {
+            h.record(123.0);
+        }
+        let p50 = h.percentile(50.0);
+        assert!((p50 / 123.0 - 1.0).abs() < 0.05, "p50 = {p50}");
+    }
+
+    #[test]
+    fn underflow_and_overflow_are_absorbed() {
+        let mut h = LogHistogram::new(1.0, 2.0, 4); // covers 1..16
+        h.record(0.01); // underflow
+        h.record(1e9); // overflow -> last bucket
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.percentile(25.0), 1.0, "underflow clamps to min");
+        assert!(h.percentile(100.0) >= 8.0);
+    }
+
+    #[test]
+    fn merge_matches_combined_stream() {
+        let mut a = LogHistogram::default_latency();
+        let mut b = LogHistogram::default_latency();
+        let mut all = LogHistogram::default_latency();
+        for i in 1..=500u32 {
+            let x = (i as f64).sqrt() * 3.0;
+            all.record(x);
+            if i % 2 == 0 {
+                a.record(x)
+            } else {
+                b.record(x)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        for p in [25.0, 50.0, 75.0, 99.0] {
+            assert_eq!(a.percentile(p), all.percentile(p));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = LogHistogram::default_latency();
+        assert_eq!(h.percentile(99.0), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn zero_percentile_rejected() {
+        let h = LogHistogram::default_latency();
+        let _ = h.percentile(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched histograms")]
+    fn mismatched_merge_rejected() {
+        let mut a = LogHistogram::new(1.0, 1.1, 10);
+        let b = LogHistogram::new(1.0, 1.2, 10);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn nan_counts_as_underflow() {
+        let mut h = LogHistogram::default_latency();
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.percentile(100.0), h.percentile(1.0));
+    }
+}

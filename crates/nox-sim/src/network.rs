@@ -1,0 +1,509 @@
+//! The cycle-accurate network engine.
+//!
+//! A [`Network`] instantiates one router per mesh node plus per-node
+//! sources and sinks, and advances the whole system one clock cycle at a
+//! time. Each [`step`](Network::step):
+//!
+//! 1. delivers last cycle's link words into input buffers (one-cycle link,
+//!    §4's 2 mm inter-tile channels) and matured credits into output
+//!    credit counters;
+//! 2. lets every source inject up to one flit into its local input port;
+//! 3. ticks every router (they emit link transfers and credit returns);
+//! 4. drains every sink by at most one flit, recording packet latencies.
+//!
+//! Per-packet flit ordering, payload integrity, and credit conservation
+//! are asserted continuously, so any router bug aborts the simulation
+//! rather than silently skewing results.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use crate::config::NetConfig;
+use crate::flit::{PacketId, PacketMeta, PacketTable};
+use crate::histogram::LogHistogram;
+use crate::router::{CreditReturn, Router, Send, TickCtx};
+use crate::sink::Sink;
+use crate::source::Source;
+use crate::stats::{Counters, LatencyStats};
+use crate::topology::{NodeId, Topology};
+use crate::trace::Trace;
+
+/// A complete simulated network: routers, sources, sinks, and wiring.
+#[derive(Clone, Debug)]
+pub struct Network {
+    cfg: NetConfig,
+    topo: Topology,
+    routers: Vec<Router>,
+    /// One source per core.
+    sources: Vec<Source>,
+    /// One sink per core.
+    sinks: Vec<Sink>,
+    packets: PacketTable,
+    cycle: u64,
+    counters: Counters,
+    /// Words launched this cycle, delivered at the start of the next.
+    in_flight: Vec<Send>,
+    /// Credits in transit: (usable-at cycle, node, output port index).
+    credits_in_flight: VecDeque<(u64, NodeId, u8)>,
+    /// Next expected flit sequence per partially-received packet.
+    expected_seq: HashMap<PacketId, u16>,
+    latency_measured: LatencyStats,
+    latency_all: LatencyStats,
+    hist_measured: LogHistogram,
+    measured_total: u64,
+    measured_ejected: u64,
+    eject_log: Option<Vec<(PacketId, u64)>>,
+}
+
+impl Network {
+    /// Builds a network and schedules `trace` into it. Packets created
+    /// within `measure_window_ns` (half-open, in nanoseconds) are tagged
+    /// as measured for latency statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or an event addresses a node
+    /// outside the mesh.
+    pub fn new(cfg: NetConfig, trace: &Trace, measure_window_ns: (f64, f64)) -> Self {
+        cfg.validate().expect("invalid network configuration");
+        let topo = cfg.topology();
+        let clock_ns = cfg.clock_ns();
+
+        let mut packets = PacketTable::new();
+        let mut sources: Vec<Source> = (0..topo.cores()).map(|_| Source::new()).collect();
+        let mut measured_total = 0;
+        for e in trace.events() {
+            assert!(
+                e.src.index() < topo.cores() && e.dest.index() < topo.cores(),
+                "trace event addresses a node outside the mesh"
+            );
+            let measured = e.time_ns >= measure_window_ns.0 && e.time_ns < measure_window_ns.1;
+            measured_total += u64::from(measured);
+            let id = packets.push(PacketMeta {
+                src: e.src,
+                dest: e.dest,
+                len: e.len,
+                created_cycle: (e.time_ns / clock_ns) as u64,
+                measured,
+            });
+            sources[e.src.index()].schedule(id);
+        }
+
+        let nox_options = nox_core::NoxOptions {
+            scheduled_mode: cfg.nox_scheduled_mode,
+        };
+        let routers = topo
+            .grid()
+            .iter()
+            .map(|n| Router::with_options(n, cfg.arch, topo, cfg.buffer_depth, nox_options))
+            .collect();
+        let sinks = (0..topo.cores() as u16)
+            .map(|c| Sink::new(NodeId(c), cfg.buffer_depth))
+            .collect();
+
+        Network {
+            cfg,
+            topo,
+            routers,
+            sources,
+            sinks,
+            packets,
+            cycle: 0,
+            counters: Counters::new(),
+            in_flight: Vec::new(),
+            credits_in_flight: VecDeque::new(),
+            expected_seq: HashMap::new(),
+            latency_measured: LatencyStats::new(),
+            latency_all: LatencyStats::new(),
+            hist_measured: LogHistogram::default_latency(),
+            measured_total,
+            measured_ejected: 0,
+            eject_log: None,
+        }
+    }
+
+    /// Enables recording of `(packet, eject cycle)` pairs — useful for
+    /// per-packet analyses, closed-loop drivers, and differential
+    /// debugging. Off by default to keep long runs memory-light.
+    pub fn enable_eject_log(&mut self) {
+        self.eject_log = Some(Vec::new());
+    }
+
+    /// Injects a packet dynamically: it enters `src`'s source queue now
+    /// (created at the current cycle) and counts as measured if
+    /// `measured`. This is how closed-loop drivers (self-throttling cores
+    /// reacting to replies) add traffic after construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dest` is outside the topology or `len == 0`.
+    pub fn inject(&mut self, src: NodeId, dest: NodeId, len: u16, measured: bool) -> PacketId {
+        assert!(
+            src.index() < self.topo.cores() && dest.index() < self.topo.cores(),
+            "inject outside the topology"
+        );
+        let id = self.packets.push(PacketMeta {
+            src,
+            dest,
+            len,
+            created_cycle: self.cycle,
+            measured,
+        });
+        self.measured_total += u64::from(measured);
+        self.sources[src.index()].schedule(id);
+        id
+    }
+
+    /// The recorded ejections, if [`enable_eject_log`](Self::enable_eject_log)
+    /// was called.
+    pub fn eject_log(&self) -> Option<&[(PacketId, u64)]> {
+        self.eject_log.as_deref()
+    }
+
+    /// The packet table (metadata for every scheduled packet).
+    pub fn packets(&self) -> &PacketTable {
+        &self.packets
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// Cycles simulated so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Current event counters (cumulative).
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Latency statistics over measured packets, in nanoseconds.
+    pub fn latency_measured_ns(&self) -> &LatencyStats {
+        &self.latency_measured
+    }
+
+    /// Latency statistics over all ejected packets, in nanoseconds.
+    pub fn latency_all_ns(&self) -> &LatencyStats {
+        &self.latency_all
+    }
+
+    /// Log-bucketed latency histogram over measured packets (for
+    /// percentile queries), in nanoseconds.
+    pub fn latency_histogram_ns(&self) -> &LogHistogram {
+        &self.hist_measured
+    }
+
+    /// Number of packets tagged measured at construction.
+    pub fn measured_total(&self) -> u64 {
+        self.measured_total
+    }
+
+    /// Measured packets fully ejected so far.
+    pub fn measured_ejected(&self) -> u64 {
+        self.measured_ejected
+    }
+
+    /// `true` once every scheduled packet has been injected and the
+    /// network, links, and sinks are empty.
+    pub fn is_quiescent(&self) -> bool {
+        self.in_flight.is_empty()
+            && self.sources.iter().all(Source::is_done)
+            && self.routers.iter().all(Router::is_idle)
+            && self.sinks.iter().all(Sink::is_idle)
+    }
+
+    /// Advances the network by one clock cycle.
+    pub fn step(&mut self) {
+        self.counters.cycles += 1;
+
+        // 1a. Deliver last cycle's link words.
+        let deliveries = std::mem::take(&mut self.in_flight);
+        for s in deliveries {
+            self.counters.buffer_writes += 1;
+            if self.topo.is_local(s.out) {
+                let core = self.topo.core_at(s.node, s.out);
+                self.sinks[core.index()].receive(s.word);
+            } else {
+                let (dest, inp) = self
+                    .topo
+                    .link_dest(s.node, s.out)
+                    .expect("send on an unconnected port");
+                self.routers[dest.index()].input_mut(inp).receive(s.word);
+            }
+        }
+
+        // 1b. Deliver matured credits.
+        while let Some(&(due, node, port)) = self.credits_in_flight.front() {
+            if due > self.cycle {
+                break;
+            }
+            self.credits_in_flight.pop_front();
+            self.routers[node.index()]
+                .output_mut(nox_core::PortId(port))
+                .return_credit(self.cfg.buffer_depth);
+        }
+
+        // 2. Sources inject, each into its core's local input port.
+        for (i, src) in self.sources.iter_mut().enumerate() {
+            let core = NodeId(i as u16);
+            let router = self.topo.router_of(core).index();
+            src.inject(
+                self.cycle,
+                self.routers[router].input_mut(self.topo.local_port(core)),
+                &self.packets,
+                &mut self.counters,
+            );
+        }
+
+        // 3. Routers tick.
+        let mut sends = Vec::new();
+        let mut credit_returns: Vec<CreditReturn> = Vec::new();
+        {
+            let mut ctx = TickCtx {
+                packets: &self.packets,
+                counters: &mut self.counters,
+                sends: &mut sends,
+                credits: &mut credit_returns,
+            };
+            for r in &mut self.routers {
+                r.tick(&mut ctx);
+            }
+        }
+
+        // 4. Sinks drain one flit each and record latencies.
+        let clock_ns = self.cfg.clock_ns();
+        for (i, sink) in self.sinks.iter_mut().enumerate() {
+            let outcome = sink.drain(&self.packets, &mut self.counters);
+            if outcome.credit_freed {
+                // A freed ejection slot credits the owning router's local
+                // output port for this core.
+                let core = NodeId(i as u16);
+                credit_returns.push(CreditReturn {
+                    node: self.topo.router_of(core),
+                    input: self.topo.local_port(core),
+                });
+            }
+            if let Some(info) = outcome.consumed {
+                let expected = self.expected_seq.entry(info.packet).or_insert(0);
+                assert_eq!(
+                    *expected, info.seq,
+                    "packet {:?} flits arrived out of order",
+                    info.packet
+                );
+                *expected += 1;
+                if info.tail {
+                    self.expected_seq.remove(&info.packet);
+                    self.counters.packets_ejected += 1;
+                    if let Some(log) = &mut self.eject_log {
+                        log.push((info.packet, self.cycle + 1));
+                    }
+                    let meta = self.packets.meta(info.packet);
+                    let latency_ns = (self.cycle + 1 - meta.created_cycle) as f64 * clock_ns;
+                    self.latency_all.record(latency_ns);
+                    if meta.measured {
+                        self.latency_measured.record(latency_ns);
+                        self.hist_measured.record(latency_ns);
+                        self.measured_ejected += 1;
+                    }
+                }
+            }
+        }
+
+        // 5. Launch this cycle's sends and schedule credits. Routers never
+        // emit credit returns for local input ports (sources check buffer
+        // space directly), so a local-port return here can only come from
+        // a sink — a credit for the owning router's local output.
+        self.in_flight = sends;
+        for c in credit_returns {
+            let (owner, port) = if self.topo.is_local(c.input) {
+                (c.node, c.input)
+            } else {
+                // Input port `c.input` of router `c.node` is fed by the
+                // neighbour in that direction; the credit belongs to the
+                // neighbour's opposite output port.
+                let dir = self.topo.port_direction(c.input);
+                let upstream = self
+                    .topo
+                    .grid()
+                    .neighbor(c.node, dir)
+                    .expect("credit for an unconnected port");
+                (upstream, self.topo.direction_port(dir.opposite()))
+            };
+            self.credits_in_flight
+                .push_back((self.cycle + self.cfg.credit_delay, owner, port.0));
+        }
+
+        self.cycle += 1;
+    }
+
+    /// Runs `n` cycles.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Runs until quiescent or `max_cycles` elapse; returns `true` if the
+    /// network drained.
+    pub fn run_to_quiescence(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            if self.is_quiescent() {
+                return true;
+            }
+            self.step();
+        }
+        self.is_quiescent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Arch;
+    use crate::trace::PacketEvent;
+
+    fn one_packet_trace(src: u16, dest: u16, len: u16) -> Trace {
+        let mut t = Trace::new();
+        t.push(PacketEvent {
+            time_ns: 0.0,
+            src: NodeId(src),
+            dest: NodeId(dest),
+            len,
+        });
+        t
+    }
+
+    #[test]
+    fn single_packet_crosses_the_mesh() {
+        for arch in Arch::ALL {
+            let mut net = Network::new(
+                NetConfig::small(arch),
+                &one_packet_trace(0, 15, 1),
+                (0.0, f64::MAX),
+            );
+            assert!(net.run_to_quiescence(1_000), "{arch} lost the packet");
+            assert_eq!(net.counters().packets_ejected, 1);
+            assert_eq!(net.counters().flits_ejected, 1);
+        }
+    }
+
+    #[test]
+    fn hop_count_sets_zero_load_latency() {
+        // 0 -> 15 on a 4x4 mesh: 6 hops + ejection link + injection and
+        // sink handling. Single-cycle routers: latency ~= hops + small
+        // constant, in cycles.
+        let mut net = Network::new(
+            NetConfig::small(Arch::Nox),
+            &one_packet_trace(0, 15, 1),
+            (0.0, f64::MAX),
+        );
+        assert!(net.run_to_quiescence(1_000));
+        let cycles = net.latency_all_ns().mean() / net.config().clock_ns();
+        assert!(
+            (7.0..12.0).contains(&cycles),
+            "zero-load latency {cycles} cycles for 6 hops"
+        );
+    }
+
+    #[test]
+    fn multiflit_packet_arrives_whole() {
+        let mut net = Network::new(
+            NetConfig::small(Arch::Nox),
+            &one_packet_trace(5, 10, 9),
+            (0.0, f64::MAX),
+        );
+        assert!(net.run_to_quiescence(1_000));
+        assert_eq!(net.counters().packets_ejected, 1);
+        assert_eq!(net.counters().flits_ejected, 9);
+    }
+
+    #[test]
+    fn self_addressed_packet_uses_local_turnaround() {
+        // src == dest routes LOCAL immediately: one switch traversal, no
+        // mesh links.
+        let mut net = Network::new(
+            NetConfig::small(Arch::Nox),
+            &one_packet_trace(3, 3, 1),
+            (0.0, f64::MAX),
+        );
+        assert!(net.run_to_quiescence(100));
+        assert_eq!(net.counters().packets_ejected, 1);
+        assert_eq!(net.counters().link_flits, 1, "only the ejection hop");
+    }
+
+    #[test]
+    fn measured_window_tags_only_window_packets() {
+        let mut t = Trace::new();
+        for i in 0..10 {
+            t.push(PacketEvent {
+                time_ns: i as f64 * 10.0,
+                src: NodeId(0),
+                dest: NodeId(5),
+                len: 1,
+            });
+        }
+        let net = Network::new(NetConfig::small(Arch::Nox), &t, (20.0, 60.0));
+        // Packets at t = 20, 30, 40, 50 fall in [20, 60).
+        assert_eq!(net.measured_total(), 4);
+    }
+
+    #[test]
+    fn credits_regenerate_to_full() {
+        // After draining, every output port must have all its credits back
+        // (conservation of buffer slots).
+        let mesh = crate::topology::Mesh::new(4, 4);
+        let mut events = Vec::new();
+        for i in 0..mesh.nodes() as u16 {
+            events.push(PacketEvent {
+                time_ns: i as f64 * 0.5,
+                src: NodeId(i),
+                dest: NodeId((i + 5) % 16),
+                len: 3,
+            });
+        }
+        let trace = Trace::from_events(events);
+        let cfg = NetConfig::small(Arch::Nox);
+        let mut net = Network::new(cfg, &trace, (0.0, f64::MAX));
+        assert!(net.run_to_quiescence(10_000));
+        // Let in-flight credits mature.
+        net.run(cfg.credit_delay + 2);
+        for r in &net.routers {
+            for p in 0..r.ports() {
+                let p = nox_core::PortId(p);
+                assert_eq!(
+                    r.output(p).credits(),
+                    cfg.buffer_depth,
+                    "credits leaked at {} port {p}",
+                    r.node()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quiescence_is_stable() {
+        let mut net = Network::new(
+            NetConfig::small(Arch::SpecAccurate),
+            &one_packet_trace(0, 15, 2),
+            (0.0, f64::MAX),
+        );
+        assert!(net.run_to_quiescence(1_000));
+        let ejected = net.counters().packets_ejected;
+        net.run(50);
+        assert!(net.is_quiescent());
+        assert_eq!(net.counters().packets_ejected, ejected);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the mesh")]
+    fn trace_outside_mesh_rejected() {
+        let _ = Network::new(
+            NetConfig::small(Arch::Nox),
+            &one_packet_trace(0, 99, 1),
+            (0.0, f64::MAX),
+        );
+    }
+}

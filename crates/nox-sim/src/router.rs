@@ -1,0 +1,761 @@
+//! Cycle-accurate router models for all four architectures.
+//!
+//! A [`Router`] owns five input ports (SRAM FIFO plus, for NoX, the decode
+//! register of §2.4) and five output ports (credit counter plus the
+//! architecture's per-output control engine from `nox-core`). Each network
+//! cycle the router:
+//!
+//! 1. computes, per input, the *presented* flit — for NoX this runs the
+//!    decode plan, possibly consuming the cycle to latch an encoded word;
+//! 2. groups presented flits into per-output request sets, qualified by
+//!    downstream credit;
+//! 3. ticks each output's control engine;
+//! 4. applies the decisions: drives link words (possibly XOR-encoded,
+//!    possibly invalid on a collision/abort), consumes serviced flits,
+//!    returns credits upstream, and counts every energy-relevant event.
+//!
+//! The router emits link transfers and credit returns into a [`TickCtx`];
+//! the surrounding [`Network`](crate::network::Network) owns the wiring
+//! and delivers them on the next cycle.
+
+use std::collections::VecDeque;
+
+use nox_core::{
+    DecodeAction, DecodePlan, Decoder, NonSpecCtl, NoxOptions, OutputCtl, PortId, PortSet,
+    RequestSet, SpecCtl, SpecMode,
+};
+
+use crate::config::Arch;
+use crate::flit::{FlitInfo, PacketTable, Word};
+use crate::stats::Counters;
+use crate::topology::{NodeId, Topology};
+
+/// A link-word transfer leaving a router this cycle.
+#[derive(Clone, Debug)]
+pub struct Send {
+    /// Originating node.
+    pub node: NodeId,
+    /// Originating output port.
+    pub out: PortId,
+    /// The (possibly encoded) word.
+    pub word: Word,
+}
+
+/// A freed input-buffer slot whose credit must travel upstream.
+#[derive(Clone, Copy, Debug)]
+pub struct CreditReturn {
+    /// Node whose input buffer freed a slot.
+    pub node: NodeId,
+    /// The input port of that buffer.
+    pub input: PortId,
+}
+
+/// Mutable per-cycle context shared by all routers of a network.
+pub struct TickCtx<'a> {
+    /// Packet metadata (for routing and flow-control qualification).
+    pub packets: &'a PacketTable,
+    /// Event counters for the energy model.
+    pub counters: &'a mut Counters,
+    /// Link transfers produced this cycle (delivered next cycle).
+    pub sends: &'a mut Vec<Send>,
+    /// Credit returns produced this cycle (usable after the credit delay).
+    pub credits: &'a mut Vec<CreditReturn>,
+}
+
+/// One input port: wormhole FIFO, NoX decode register, and the Spec-Fast
+/// freshness flag.
+#[derive(Clone, Debug)]
+pub struct InputPort {
+    fifo: VecDeque<Word>,
+    capacity: usize,
+    decoder: Decoder<u64>,
+    fresh: bool,
+    fresh_next: bool,
+}
+
+impl InputPort {
+    fn new(capacity: usize) -> Self {
+        InputPort {
+            fifo: VecDeque::with_capacity(capacity),
+            capacity,
+            decoder: Decoder::new(),
+            fresh: false,
+            fresh_next: false,
+        }
+    }
+
+    /// Current FIFO occupancy in flits.
+    pub fn occupancy(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// `true` when the FIFO has room for another flit.
+    pub fn has_space(&self) -> bool {
+        self.fifo.len() < self.capacity
+    }
+
+    /// Accepts an arriving flit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on buffer overflow — the upstream credit discipline must
+    /// make that impossible.
+    pub fn receive(&mut self, word: Word) {
+        assert!(
+            self.has_space(),
+            "input buffer overflow: credit protocol violated"
+        );
+        self.fifo.push_back(word);
+    }
+
+    /// `true` when the port holds no flits and no partial decode.
+    pub fn is_idle(&self) -> bool {
+        self.fifo.is_empty() && !self.decoder.is_mid_chain()
+    }
+
+    /// Starts a new cycle: promotes the freshness flag.
+    fn begin_cycle(&mut self) {
+        self.fresh = self.fresh_next;
+        self.fresh_next = false;
+    }
+
+    /// Test helper: pops the head flit directly, bypassing control logic.
+    #[cfg(test)]
+    pub(crate) fn receive_test_pop(&mut self) -> Option<Word> {
+        self.fifo.pop_front()
+    }
+
+    /// Pops the head flit, maintaining the freshness flag for Spec-Fast.
+    fn pop(&mut self, popped_is_tail: bool) -> Word {
+        let w = self.fifo.pop_front().expect("pop from empty FIFO");
+        if popped_is_tail && !self.fifo.is_empty() {
+            // The next packet is newly exposed at the head of line.
+            self.fresh_next = true;
+        }
+        w
+    }
+}
+
+/// The per-architecture output control engine.
+#[derive(Clone, Debug)]
+enum Engine {
+    NonSpec(NonSpecCtl),
+    Spec(SpecCtl),
+    Nox(OutputCtl),
+}
+
+/// One output port: control engine plus downstream credit counter.
+#[derive(Clone, Debug)]
+pub struct OutputPort {
+    engine: Engine,
+    credits: usize,
+    /// `false` for mesh-edge ports with no link attached.
+    connected: bool,
+}
+
+impl OutputPort {
+    /// Credits (free downstream buffer slots) currently available.
+    pub fn credits(&self) -> usize {
+        self.credits
+    }
+
+    /// Returns one credit (a downstream slot freed).
+    pub fn return_credit(&mut self, capacity: usize) {
+        self.credits += 1;
+        assert!(
+            self.credits <= capacity,
+            "credit overflow: more credits than buffer slots"
+        );
+    }
+}
+
+/// A presented (decode-complete) flit and its routing information.
+#[derive(Clone, Debug)]
+struct Presented {
+    word: Word,
+    info: FlitInfo,
+    out: PortId,
+    action: DecodeAction,
+}
+
+/// A router of a given architecture: five ports on the paper's mesh,
+/// more on a concentrated mesh.
+#[derive(Clone, Debug)]
+pub struct Router {
+    node: NodeId,
+    arch: Arch,
+    topo: Topology,
+    inputs: Vec<InputPort>,
+    outputs: Vec<OutputPort>,
+}
+
+impl Router {
+    /// Creates a router for grid node `node` with the given buffer depth.
+    /// Edge ports without a neighbour are marked unconnected (they never
+    /// see traffic under minimal routing, which tests assert).
+    pub fn new(node: NodeId, arch: Arch, topo: Topology, buffer_depth: usize) -> Self {
+        Self::with_options(node, arch, topo, buffer_depth, NoxOptions::default())
+    }
+
+    /// Creates a router with explicit NoX ablation options (only relevant
+    /// for [`Arch::Nox`]).
+    pub fn with_options(
+        node: NodeId,
+        arch: Arch,
+        topo: Topology,
+        buffer_depth: usize,
+        options: NoxOptions,
+    ) -> Self {
+        let ports = topo.ports();
+        let inputs = (0..ports).map(|_| InputPort::new(buffer_depth)).collect();
+        let outputs = (0..ports)
+            .map(|p| {
+                let engine = match arch {
+                    Arch::NonSpec => Engine::NonSpec(NonSpecCtl::new(ports)),
+                    Arch::SpecFast => Engine::Spec(SpecCtl::new(ports, SpecMode::Fast)),
+                    Arch::SpecAccurate => Engine::Spec(SpecCtl::new(ports, SpecMode::Accurate)),
+                    Arch::Nox => Engine::Nox(OutputCtl::with_options(ports, options)),
+                };
+                let p = PortId(p);
+                OutputPort {
+                    engine,
+                    credits: buffer_depth,
+                    connected: topo.is_local(p) || topo.link_dest(node, p).is_some(),
+                }
+            })
+            .collect();
+        Router {
+            node,
+            arch,
+            topo,
+            inputs,
+            outputs,
+        }
+    }
+
+    /// Number of ports on this router.
+    pub fn ports(&self) -> u8 {
+        self.topo.ports()
+    }
+
+    /// This router's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Immutable access to an input port (for assertions and tracing).
+    pub fn input(&self, p: PortId) -> &InputPort {
+        &self.inputs[p.index()]
+    }
+
+    /// Mutable access to an input port (the network delivers flits here).
+    pub fn input_mut(&mut self, p: PortId) -> &mut InputPort {
+        &mut self.inputs[p.index()]
+    }
+
+    /// Immutable access to an output port.
+    pub fn output(&self, p: PortId) -> &OutputPort {
+        &self.outputs[p.index()]
+    }
+
+    /// Mutable access to an output port (the network returns credits here).
+    pub fn output_mut(&mut self, p: PortId) -> &mut OutputPort {
+        &mut self.outputs[p.index()]
+    }
+
+    /// `true` when every input port is empty (used to detect drain).
+    pub fn is_idle(&self) -> bool {
+        self.inputs.iter().all(InputPort::is_idle)
+    }
+
+    /// Total flits buffered across all input ports.
+    pub fn buffered_flits(&self) -> usize {
+        self.inputs.iter().map(|i| i.fifo.len()).sum()
+    }
+
+    /// Advances the router by one cycle.
+    pub fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        for i in &mut self.inputs {
+            i.begin_cycle();
+        }
+        match self.arch {
+            Arch::Nox => self.tick_nox(ctx),
+            Arch::SpecFast | Arch::SpecAccurate => self.tick_spec(ctx),
+            Arch::NonSpec => self.tick_nonspec(ctx),
+        }
+    }
+
+    // ------------------------------------------------------------ helpers
+
+    /// Computes presented flits for all inputs. For NoX this also performs
+    /// decode-register latches (which consume the input's cycle).
+    fn collect_presented(&mut self, ctx: &mut TickCtx<'_>) -> Vec<Option<Presented>> {
+        let mut out = Vec::with_capacity(self.inputs.len());
+        let node = self.node;
+        let topo = self.topo;
+        for (idx, input) in self.inputs.iter_mut().enumerate() {
+            let presented = match self.arch {
+                Arch::Nox => match input.decoder.plan(input.fifo.front()) {
+                    DecodePlan::Idle => None,
+                    DecodePlan::Latch => {
+                        // Known early in the cycle (§2.4): pop the encoded
+                        // word into the register; the slot frees now.
+                        let w = input.pop(false);
+                        input.decoder.latch(w);
+                        ctx.counters.buffer_reads += 1;
+                        ctx.counters.decode_reg_writes += 1;
+                        if !topo.is_local(PortId(idx as u8)) {
+                            ctx.credits.push(CreditReturn {
+                                node,
+                                input: PortId(idx as u8),
+                            });
+                        }
+                        None
+                    }
+                    DecodePlan::Present { word, action } => {
+                        let info = ctx.packets.word_info(&word);
+                        let out_port = topo.route(node, info.dest);
+                        Some(Presented {
+                            word,
+                            info,
+                            out: out_port,
+                            action,
+                        })
+                    }
+                },
+                _ => input.fifo.front().map(|w| {
+                    let info = ctx.packets.word_info(w);
+                    let out_port = topo.route(node, info.dest);
+                    Presented {
+                        word: w.clone(),
+                        info,
+                        out: out_port,
+                        action: DecodeAction::Pass,
+                    }
+                }),
+            };
+            out.push(presented);
+        }
+        out
+    }
+
+    /// Builds the per-output request sets from presented flits, qualified
+    /// by downstream credit. Also returns the per-output fresh sets for
+    /// Spec-Fast.
+    fn request_sets(&self, presented: &[Option<Presented>]) -> (Vec<RequestSet>, Vec<PortSet>) {
+        let n = self.inputs.len();
+        let mut reqs = vec![RequestSet::default(); n];
+        let mut fresh = vec![PortSet::EMPTY; n];
+        for (idx, p) in presented.iter().enumerate() {
+            let Some(p) = p else { continue };
+            let o = p.out.index();
+            if self.outputs[o].credits == 0 {
+                continue; // output-wide stall: nobody requests
+            }
+            let ip = PortId(idx as u8);
+            reqs[o].req.insert(ip);
+            if p.info.multiflit {
+                reqs[o].multiflit.insert(ip);
+            }
+            if p.info.tail {
+                reqs[o].tail.insert(ip);
+            }
+            if self.inputs[idx].fresh && p.info.seq == 0 {
+                fresh[o].insert(ip);
+            }
+        }
+        (reqs, fresh)
+    }
+
+    /// Consumes a serviced flit at input `i`: commits the decode action,
+    /// pops the FIFO as required, and returns the freed slot's credit.
+    fn service_input(&mut self, i: PortId, p: &Presented, ctx: &mut TickCtx<'_>) {
+        let input = &mut self.inputs[i.index()];
+        ctx.counters.buffer_reads += 1;
+        match p.action {
+            DecodeAction::Pass => {
+                input.pop(p.info.tail);
+                input.decoder.commit(DecodeAction::Pass, None);
+                if !self.topo.is_local(i) {
+                    ctx.credits.push(CreditReturn {
+                        node: self.node,
+                        input: i,
+                    });
+                }
+            }
+            DecodeAction::DecodeKeep => {
+                // The head stays (it is the chain's final packet); only the
+                // decode register clears. No slot frees.
+                input.decoder.commit(DecodeAction::DecodeKeep, None);
+                ctx.counters.decode_xors += 1;
+            }
+            DecodeAction::DecodeShift => {
+                let head = input.pop(false);
+                input.decoder.commit(DecodeAction::DecodeShift, Some(head));
+                ctx.counters.decode_xors += 1;
+                ctx.counters.decode_reg_writes += 1;
+                if !self.topo.is_local(i) {
+                    ctx.credits.push(CreditReturn {
+                        node: self.node,
+                        input: i,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Drives one productive link word from `drive` and consumes a credit.
+    fn drive_link(
+        &mut self,
+        out: PortId,
+        drive: PortSet,
+        presented: &[Option<Presented>],
+        ctx: &mut TickCtx<'_>,
+    ) {
+        let word: Word = drive
+            .iter()
+            .map(|i| presented[i.index()].as_ref().unwrap().word.clone())
+            .collect();
+        let op = &mut self.outputs[out.index()];
+        assert!(op.connected, "drove a word onto an unconnected port");
+        assert!(op.credits > 0, "drove a word without downstream credit");
+        op.credits -= 1;
+        ctx.counters.link_flits += 1;
+        ctx.counters.xbar_traversals += 1;
+        ctx.counters.xbar_inputs_active += drive.len() as u64;
+        ctx.sends.push(Send {
+            node: self.node,
+            out,
+            word,
+        });
+    }
+
+    // ---------------------------------------------------------------- NoX
+
+    #[allow(clippy::needless_range_loop)] // indices couple reqs[o] with self.outputs[o]
+    fn tick_nox(&mut self, ctx: &mut TickCtx<'_>) {
+        let presented = self.collect_presented(ctx);
+        let (reqs, _) = self.request_sets(&presented);
+        for o in 0..self.outputs.len() {
+            if self.outputs[o].credits == 0 {
+                // Credit exhaustion freezes the whole output: nothing can
+                // traverse, and ticking the controller would tear down a
+                // valid schedule (DESIGN.md, clarification 4).
+                continue;
+            }
+            let Engine::Nox(engine) = &mut self.outputs[o].engine else {
+                unreachable!("NoX router with non-NoX engine");
+            };
+            let d = engine.tick(reqs[o]);
+            if d.granted.is_some() {
+                ctx.counters.arbitrations += 1;
+            }
+            if d.aborted {
+                // Invalid word on the link: full channel energy, nothing
+                // delivered, no credit consumed.
+                ctx.counters.aborts += 1;
+                ctx.counters.link_wasted += 1;
+                ctx.counters.xbar_traversals += 1;
+                ctx.counters.xbar_inputs_active += d.drive.len() as u64;
+                continue;
+            }
+            if !d.drive.is_empty() {
+                if d.encoded {
+                    ctx.counters.encoded_transfers += 1;
+                }
+                self.drive_link(PortId(o as u8), d.drive, &presented, ctx);
+            }
+            for i in d.serviced.iter() {
+                let p = presented[i.index()].as_ref().unwrap().clone();
+                self.service_input(i, &p, ctx);
+            }
+        }
+    }
+
+    // --------------------------------------------------------------- spec
+
+    #[allow(clippy::needless_range_loop)]
+    fn tick_spec(&mut self, ctx: &mut TickCtx<'_>) {
+        let presented = self.collect_presented(ctx);
+        let (reqs, fresh) = self.request_sets(&presented);
+        for o in 0..self.outputs.len() {
+            if self.outputs[o].credits == 0 {
+                // Zero-credit freeze: reservations survive the stall
+                // (DESIGN.md, clarification 4).
+                continue;
+            }
+            let Engine::Spec(engine) = &mut self.outputs[o].engine else {
+                unreachable!("spec router with non-spec engine");
+            };
+            let d = engine.tick(reqs[o], fresh[o]);
+            if d.granted.is_some() {
+                ctx.counters.arbitrations += 1;
+            }
+            if !d.collided.is_empty() {
+                // Speculation failed: an indeterminate value crosses the
+                // link (§3.2) — wasted channel energy plus switch activity.
+                ctx.counters.collisions += 1;
+                ctx.counters.link_wasted += 1;
+                ctx.counters.xbar_traversals += 1;
+                ctx.counters.xbar_inputs_active += d.collided.len() as u64;
+            }
+            if d.wasted_reservation {
+                ctx.counters.wasted_reservations += 1;
+            }
+            if let Some(i) = d.drive {
+                self.drive_link(PortId(o as u8), PortSet::single(i), &presented, ctx);
+                let p = presented[i.index()].as_ref().unwrap().clone();
+                self.service_input(i, &p, ctx);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ nonspec
+
+    #[allow(clippy::needless_range_loop)]
+    fn tick_nonspec(&mut self, ctx: &mut TickCtx<'_>) {
+        let presented = self.collect_presented(ctx);
+        let (reqs, _) = self.request_sets(&presented);
+        for o in 0..self.outputs.len() {
+            if self.outputs[o].credits == 0 {
+                // Zero-credit freeze (DESIGN.md, clarification 4).
+                continue;
+            }
+            let Engine::NonSpec(engine) = &mut self.outputs[o].engine else {
+                unreachable!("non-spec router with non-sequential engine");
+            };
+            let d = engine.tick(reqs[o]);
+            if d.granted {
+                ctx.counters.arbitrations += 1;
+            }
+            if let Some(i) = d.drive {
+                self.drive_link(PortId(o as u8), PortSet::single(i), &presented, ctx);
+                let p = presented[i.index()].as_ref().unwrap().clone();
+                self.service_input(i, &p, ctx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{word_for, FlitKey, PacketMeta};
+    use crate::topology::Port;
+
+    fn ctx_parts() -> (PacketTable, Counters, Vec<Send>, Vec<CreditReturn>) {
+        (PacketTable::new(), Counters::new(), Vec::new(), Vec::new())
+    }
+
+    fn single_flit_packet(t: &mut PacketTable, src: u16, dest: u16) -> FlitKey {
+        let id = t.push(PacketMeta {
+            src: NodeId(src),
+            dest: NodeId(dest),
+            len: 1,
+            created_cycle: 0,
+            measured: false,
+        });
+        FlitKey { packet: id, seq: 0 }
+    }
+
+    #[test]
+    fn router_forwards_single_flit_toward_destination() {
+        for arch in Arch::ALL {
+            let mesh = Topology::mesh(4, 4);
+            let (mut packets, mut counters, mut sends, mut credits) = ctx_parts();
+            // Node 5 = (1,1); destination node 7 = (3,1): East.
+            let key = single_flit_packet(&mut packets, 5, 7);
+            let mut r = Router::new(NodeId(5), arch, mesh, 4);
+            r.input_mut(Port::West.id()).receive(word_for(key));
+
+            // All four designs are single-cycle routers (§3.2): the flit
+            // leaves on its arrival cycle, regardless of architecture.
+            let mut ctx = TickCtx {
+                packets: &packets,
+                counters: &mut counters,
+                sends: &mut sends,
+                credits: &mut credits,
+            };
+            r.tick(&mut ctx);
+            assert_eq!(sends.len(), 1, "{arch}: single-cycle traversal");
+            let s = &sends[0];
+            assert_eq!(s.out, Port::East.id(), "{arch}: wrong route");
+            assert_eq!(s.word.sole_key(), Some(key.pack()), "{arch}: wrong word");
+            // The freed slot's credit returned.
+            assert_eq!(credits.len(), 1);
+            assert_eq!(credits[0].input, Port::West.id());
+        }
+    }
+
+    #[test]
+    fn credit_exhaustion_blocks_output() {
+        for arch in Arch::ALL {
+            let mesh = Topology::mesh(4, 4);
+            let (mut packets, mut counters, mut sends, mut credits) = ctx_parts();
+            let key = single_flit_packet(&mut packets, 5, 7);
+            let mut r = Router::new(NodeId(5), arch, mesh, 4);
+            r.output_mut(Port::East.id()).credits = 0;
+            r.input_mut(Port::West.id()).receive(word_for(key));
+            for _ in 0..4 {
+                let mut ctx = TickCtx {
+                    packets: &packets,
+                    counters: &mut counters,
+                    sends: &mut sends,
+                    credits: &mut credits,
+                };
+                r.tick(&mut ctx);
+            }
+            assert!(sends.is_empty(), "{arch}: sent without credit");
+            assert_eq!(r.input(Port::West.id()).occupancy(), 1);
+        }
+    }
+
+    #[test]
+    fn nox_collision_produces_encoded_word_and_frees_winner() {
+        let mesh = Topology::mesh(4, 4);
+        let (mut packets, mut counters, mut sends, mut credits) = ctx_parts();
+        let k1 = single_flit_packet(&mut packets, 5, 7);
+        let k2 = single_flit_packet(&mut packets, 5, 7);
+        let mut r = Router::new(NodeId(5), Arch::Nox, mesh, 4);
+        r.input_mut(Port::West.id()).receive(word_for(k1));
+        r.input_mut(Port::North.id()).receive(word_for(k2));
+
+        let mut ctx = TickCtx {
+            packets: &packets,
+            counters: &mut counters,
+            sends: &mut sends,
+            credits: &mut credits,
+        };
+        r.tick(&mut ctx);
+
+        assert_eq!(sends.len(), 1);
+        let w = &sends[0].word;
+        assert!(w.is_encoded(), "collision must drive an encoded word");
+        assert_eq!(w.keys().len(), 2);
+        assert_eq!(counters.encoded_transfers, 1);
+        assert_eq!(counters.link_wasted, 0, "NoX collisions are productive");
+        // Exactly one input freed (the winner), one remains.
+        assert_eq!(
+            r.input(Port::West.id()).occupancy() + r.input(Port::North.id()).occupancy(),
+            1
+        );
+
+        // Next cycle the loser goes out plain.
+        sends.clear();
+        let mut ctx = TickCtx {
+            packets: &packets,
+            counters: &mut counters,
+            sends: &mut sends,
+            credits: &mut credits,
+        };
+        r.tick(&mut ctx);
+        assert_eq!(sends.len(), 1);
+        assert!(sends[0].word.is_plain());
+    }
+
+    #[test]
+    fn spec_collision_wastes_link_cycle() {
+        for arch in [Arch::SpecFast, Arch::SpecAccurate] {
+            let mesh = Topology::mesh(4, 4);
+            let (mut packets, mut counters, mut sends, mut credits) = ctx_parts();
+            let k1 = single_flit_packet(&mut packets, 5, 7);
+            let k2 = single_flit_packet(&mut packets, 5, 7);
+            let mut r = Router::new(NodeId(5), arch, mesh, 4);
+            r.input_mut(Port::West.id()).receive(word_for(k1));
+            r.input_mut(Port::North.id()).receive(word_for(k2));
+
+            let mut ctx = TickCtx {
+                packets: &packets,
+                counters: &mut counters,
+                sends: &mut sends,
+                credits: &mut credits,
+            };
+            r.tick(&mut ctx);
+            assert!(sends.is_empty(), "{arch}: collision cycle must not deliver");
+            assert_eq!(counters.link_wasted, 1);
+            assert_eq!(counters.collisions, 1);
+
+            // Both flits still buffered.
+            assert_eq!(
+                r.input(Port::West.id()).occupancy() + r.input(Port::North.id()).occupancy(),
+                2
+            );
+        }
+    }
+
+    #[test]
+    fn nonspec_output_stays_busy_with_backlog() {
+        let mesh = Topology::mesh(4, 4);
+        let (mut packets, mut counters, mut sends, mut credits) = ctx_parts();
+        let mut r = Router::new(NodeId(5), Arch::NonSpec, mesh, 4);
+        for _ in 0..4 {
+            let k = single_flit_packet(&mut packets, 5, 7);
+            r.input_mut(Port::West.id()).receive(word_for(k));
+        }
+        let mut delivered = 0;
+        for _ in 0..4 {
+            let mut ctx = TickCtx {
+                packets: &packets,
+                counters: &mut counters,
+                sends: &mut sends,
+                credits: &mut credits,
+            };
+            r.tick(&mut ctx);
+            delivered += sends.len();
+            sends.clear();
+        }
+        assert_eq!(delivered, 4, "output busy every cycle with a backlog");
+    }
+
+    #[test]
+    fn multiflit_packet_streams_contiguously_everywhere() {
+        for arch in Arch::ALL {
+            let mesh = Topology::mesh(4, 4);
+            let (mut packets, mut counters, mut sends, mut credits) = ctx_parts();
+            let id = packets.push(PacketMeta {
+                src: NodeId(5),
+                dest: NodeId(7),
+                len: 3,
+                created_cycle: 0,
+                measured: false,
+            });
+            let k_single = single_flit_packet(&mut packets, 5, 7);
+            let mut r = Router::new(NodeId(5), arch, mesh, 4);
+            for seq in 0..3 {
+                r.input_mut(Port::West.id())
+                    .receive(word_for(FlitKey { packet: id, seq }));
+            }
+            // A competing single-flit on another input.
+            r.input_mut(Port::North.id()).receive(word_for(k_single));
+
+            let mut order = Vec::new();
+            for _ in 0..12 {
+                let mut ctx = TickCtx {
+                    packets: &packets,
+                    counters: &mut counters,
+                    sends: &mut sends,
+                    credits: &mut credits,
+                };
+                r.tick(&mut ctx);
+                for s in sends.drain(..) {
+                    for k in s.word.keys() {
+                        order.push(FlitKey::unpack(*k));
+                    }
+                }
+            }
+            assert_eq!(order.len(), 4, "{arch}: lost flits");
+            // The three multi-flit flits must appear contiguously.
+            let pos: Vec<usize> = order
+                .iter()
+                .enumerate()
+                .filter(|(_, k)| k.packet == id)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(pos.len(), 3);
+            assert!(
+                pos[2] - pos[0] == 2,
+                "{arch}: multi-flit packet interleaved: {order:?}"
+            );
+        }
+    }
+}

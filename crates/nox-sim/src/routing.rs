@@ -1,0 +1,117 @@
+//! Dimension-ordered (XY) routing.
+//!
+//! The paper uses deterministic dimension-ordered routing (Table 1): a
+//! packet first travels along X to its destination column, then along Y to
+//! its destination row. DOR is deadlock-free on a mesh with a single
+//! resource class, which is why the wormhole routers evaluated here need
+//! no virtual channels (protocol-level deadlock is instead avoided with a
+//! second physical network, §2.8).
+
+use crate::topology::{Mesh, NodeId, Port};
+
+/// The output port a flit at `cur` must take toward `dest` under XY
+/// dimension-ordered routing. Returns [`Port::Local`] when `cur == dest`.
+///
+/// # Example
+///
+/// ```
+/// use nox_sim::routing::route_xy;
+/// use nox_sim::topology::{Mesh, NodeId, Port};
+///
+/// let m = Mesh::new(8, 8);
+/// // Node 0 is (0,0); node 63 is (7,7): X first.
+/// assert_eq!(route_xy(m, NodeId(0), NodeId(63)), Port::East);
+/// // Same column: go along Y.
+/// assert_eq!(route_xy(m, NodeId(0), NodeId(56)), Port::South);
+/// assert_eq!(route_xy(m, NodeId(5), NodeId(5)), Port::Local);
+/// ```
+pub fn route_xy(mesh: Mesh, cur: NodeId, dest: NodeId) -> Port {
+    let c = mesh.coord(cur);
+    let d = mesh.coord(dest);
+    if c.x < d.x {
+        Port::East
+    } else if c.x > d.x {
+        Port::West
+    } else if c.y < d.y {
+        Port::South
+    } else if c.y > d.y {
+        Port::North
+    } else {
+        Port::Local
+    }
+}
+
+/// The full XY path from `src` to `dest`, excluding `src`, including
+/// `dest`. Useful for tests and analytical models.
+pub fn path_xy(mesh: Mesh, src: NodeId, dest: NodeId) -> Vec<NodeId> {
+    let mut path = Vec::new();
+    let mut cur = src;
+    while cur != dest {
+        let port = route_xy(mesh, cur, dest);
+        cur = mesh
+            .neighbor(cur, port)
+            .expect("XY routing stepped off the mesh");
+        path.push(cur);
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_x_before_y() {
+        let m = Mesh::new(4, 4);
+        // (0,0) -> (2,2): must go East first.
+        assert_eq!(route_xy(m, NodeId(0), NodeId(10)), Port::East);
+        // (2,0) -> (2,2): X resolved, go South.
+        assert_eq!(route_xy(m, NodeId(2), NodeId(10)), Port::South);
+    }
+
+    #[test]
+    fn route_to_self_is_local() {
+        let m = Mesh::new(4, 4);
+        assert_eq!(route_xy(m, NodeId(7), NodeId(7)), Port::Local);
+    }
+
+    #[test]
+    fn path_length_matches_manhattan_distance() {
+        let m = Mesh::new(8, 8);
+        for a in [0u16, 5, 17, 63] {
+            for b in [0u16, 9, 32, 63] {
+                let (a, b) = (NodeId(a), NodeId(b));
+                assert_eq!(path_xy(m, a, b).len() as u32, m.hops(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn path_ends_at_destination() {
+        let m = Mesh::new(8, 8);
+        let p = path_xy(m, NodeId(3), NodeId(60));
+        assert_eq!(*p.last().unwrap(), NodeId(60));
+    }
+
+    #[test]
+    fn xy_paths_never_turn_back_to_x() {
+        // Once a packet moves in Y, it must never move in X again —
+        // the invariant that makes DOR deadlock-free.
+        let m = Mesh::new(8, 8);
+        for (a, b) in [(0u16, 63u16), (7, 56), (20, 43)] {
+            let mut cur = NodeId(a);
+            let mut seen_y = false;
+            while cur != NodeId(b) {
+                let port = route_xy(m, cur, NodeId(b));
+                match port {
+                    Port::East | Port::West => {
+                        assert!(!seen_y, "X move after Y move");
+                    }
+                    Port::North | Port::South => seen_y = true,
+                    Port::Local => unreachable!(),
+                }
+                cur = m.neighbor(cur, port).unwrap();
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Packet ejection sinks.
+//!
+//! The network interface at each node ejects at most one flit per cycle —
+//! matching the 64-bit link bandwidth. Under the NoX architecture the
+//! ejection port can receive *encoded* words (collisions happen on local
+//! output ports like any other), so the sink embeds the same decode
+//! register and XOR logic as a router input port (§2.4).
+//!
+//! Every consumed flit is integrity-checked: the payload recovered through
+//! however many XOR encodes and decodes it took must equal the flit's
+//! original deterministic payload bits.
+
+use std::collections::VecDeque;
+
+use nox_core::{DecodeAction, DecodePlan, Decoder};
+
+use crate::flit::{FlitInfo, FlitKey, PacketTable, Word};
+use crate::stats::Counters;
+use crate::topology::NodeId;
+
+/// What a sink did in one drain cycle.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SinkOutcome {
+    /// A buffer slot freed this cycle (a credit for the local output).
+    pub credit_freed: bool,
+    /// The flit consumed this cycle, if any.
+    pub consumed: Option<FlitInfo>,
+}
+
+/// The ejection interface of one node.
+#[derive(Clone, Debug)]
+pub struct Sink {
+    node: NodeId,
+    fifo: VecDeque<Word>,
+    capacity: usize,
+    decoder: Decoder<u64>,
+}
+
+impl Sink {
+    /// Creates a sink with the given ejection buffer depth.
+    pub fn new(node: NodeId, capacity: usize) -> Self {
+        Sink {
+            node,
+            fifo: VecDeque::with_capacity(capacity),
+            capacity,
+            decoder: Decoder::new(),
+        }
+    }
+
+    /// Accepts an arriving word from the local output channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow — the credit protocol must prevent it.
+    pub fn receive(&mut self, word: Word) {
+        assert!(
+            self.fifo.len() < self.capacity,
+            "ejection buffer overflow: credit protocol violated"
+        );
+        self.fifo.push_back(word);
+    }
+
+    /// `true` when no words are buffered and no decode is in progress.
+    pub fn is_idle(&self) -> bool {
+        self.fifo.is_empty() && !self.decoder.is_mid_chain()
+    }
+
+    /// Drains at most one presented flit (or performs one decode latch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a consumed flit fails the payload integrity check or was
+    /// delivered to the wrong node — either indicates a router bug.
+    pub fn drain(&mut self, packets: &PacketTable, counters: &mut Counters) -> SinkOutcome {
+        match self.decoder.plan(self.fifo.front()) {
+            DecodePlan::Idle => SinkOutcome::default(),
+            DecodePlan::Latch => {
+                let w = self.fifo.pop_front().expect("planned latch without head");
+                self.decoder.latch(w);
+                counters.buffer_reads += 1;
+                counters.decode_reg_writes += 1;
+                SinkOutcome {
+                    credit_freed: true,
+                    consumed: None,
+                }
+            }
+            DecodePlan::Present { word, action } => {
+                let key = FlitKey::unpack(word.sole_key().expect("undecodable word at sink"));
+                assert_eq!(
+                    *word.payload(),
+                    key.payload(),
+                    "payload corrupted through XOR encode/decode"
+                );
+                let info = packets.flit_info(key);
+                assert_eq!(info.dest, self.node, "flit ejected at wrong node");
+
+                counters.buffer_reads += 1;
+                counters.flits_ejected += 1;
+                let credit_freed = match action {
+                    DecodeAction::Pass => {
+                        self.fifo.pop_front();
+                        self.decoder.commit(DecodeAction::Pass, None);
+                        true
+                    }
+                    DecodeAction::DecodeKeep => {
+                        self.decoder.commit(DecodeAction::DecodeKeep, None);
+                        counters.decode_xors += 1;
+                        false
+                    }
+                    DecodeAction::DecodeShift => {
+                        let head = self.fifo.pop_front().expect("shift without head");
+                        self.decoder.commit(DecodeAction::DecodeShift, Some(head));
+                        counters.decode_xors += 1;
+                        counters.decode_reg_writes += 1;
+                        true
+                    }
+                };
+                SinkOutcome {
+                    credit_freed,
+                    consumed: Some(info),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{word_for, PacketMeta};
+
+    fn packet(t: &mut PacketTable, dest: u16, len: u16) -> crate::flit::PacketId {
+        t.push(PacketMeta {
+            src: NodeId(0),
+            dest: NodeId(dest),
+            len,
+            created_cycle: 0,
+            measured: false,
+        })
+    }
+
+    #[test]
+    fn drains_plain_flits_one_per_cycle() {
+        let mut t = PacketTable::new();
+        let mut c = Counters::new();
+        let mut sink = Sink::new(NodeId(3), 4);
+        for _ in 0..3 {
+            let id = packet(&mut t, 3, 1);
+            sink.receive(word_for(FlitKey { packet: id, seq: 0 }));
+        }
+        let mut consumed = 0;
+        for _ in 0..3 {
+            if sink.drain(&t, &mut c).consumed.is_some() {
+                consumed += 1;
+            }
+        }
+        assert_eq!(consumed, 3);
+        assert!(sink.is_idle());
+        assert_eq!(c.flits_ejected, 3);
+    }
+
+    #[test]
+    fn decodes_encoded_chain_at_ejection() {
+        let mut t = PacketTable::new();
+        let mut c = Counters::new();
+        let mut sink = Sink::new(NodeId(3), 4);
+        let a = packet(&mut t, 3, 1);
+        let b = packet(&mut t, 3, 1);
+        let wa = word_for(FlitKey { packet: a, seq: 0 });
+        let wb = word_for(FlitKey { packet: b, seq: 0 });
+        sink.receive(wa.xor(&wb));
+        sink.receive(wb);
+
+        // Cycle 1: latch, credit freed, nothing consumed.
+        let o = sink.drain(&t, &mut c);
+        assert!(o.credit_freed && o.consumed.is_none());
+        // Cycle 2: A recovered.
+        let o = sink.drain(&t, &mut c);
+        assert_eq!(o.consumed.unwrap().packet, a);
+        assert!(!o.credit_freed);
+        // Cycle 3: B consumed.
+        let o = sink.drain(&t, &mut c);
+        assert_eq!(o.consumed.unwrap().packet, b);
+        assert!(o.credit_freed);
+        assert!(sink.is_idle());
+        assert_eq!(c.decode_xors, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong node")]
+    fn misdelivered_flit_detected() {
+        let mut t = PacketTable::new();
+        let mut c = Counters::new();
+        let mut sink = Sink::new(NodeId(3), 4);
+        let id = packet(&mut t, 7, 1);
+        sink.receive(word_for(FlitKey { packet: id, seq: 0 }));
+        let _ = sink.drain(&t, &mut c);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_detected() {
+        let mut t = PacketTable::new();
+        let mut sink = Sink::new(NodeId(3), 2);
+        for _ in 0..3 {
+            let id = packet(&mut t, 3, 1);
+            sink.receive(word_for(FlitKey { packet: id, seq: 0 }));
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Event counters and latency accumulators.
+//!
+//! The paper's power methodology (§4) complements the cycle-accurate
+//! simulator "with necessary event counters to form an accurate power
+//! model". [`Counters`] is that set of event counters; `nox-power` maps
+//! them to energy. [`LatencyStats`] is a streaming accumulator for packet
+//! latencies so multi-million-packet runs need no per-packet storage.
+
+/// Dynamic-activity event counters for one network.
+///
+/// Counter semantics (one increment per event):
+///
+/// * `link_flits` — productive link traversals (one word actually carrying
+///   payload crosses an inter-router or ejection channel).
+/// * `link_wasted` — link cycles driven with an indeterminate or invalid
+///   value: speculative collision cycles (§3.2) and NoX aborts (§2.7).
+///   These cost full channel energy but carry nothing.
+/// * `xbar_traversals` / `xbar_inputs_active` — switch activations and the
+///   total number of inputs simultaneously driving them (for the XOR
+///   switch an encoded transfer activates several inputs at once).
+/// * `buffer_writes` / `buffer_reads` — SRAM FIFO accesses.
+/// * `arbitrations` — output arbiter decisions producing a grant.
+/// * `decode_xors` / `decode_reg_writes` — NoX decode-path activity.
+/// * `collisions` — speculative-router collision cycles.
+/// * `aborts` — NoX multi-flit abort cycles.
+/// * `encoded_transfers` — NoX productive encoded link words.
+/// * `wasted_reservations` — speculative output reservations that idled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct Counters {
+    pub cycles: u64,
+    pub link_flits: u64,
+    pub link_wasted: u64,
+    pub xbar_traversals: u64,
+    pub xbar_inputs_active: u64,
+    pub buffer_writes: u64,
+    pub buffer_reads: u64,
+    pub arbitrations: u64,
+    pub decode_xors: u64,
+    pub decode_reg_writes: u64,
+    pub collisions: u64,
+    pub aborts: u64,
+    pub encoded_transfers: u64,
+    pub wasted_reservations: u64,
+    pub flits_injected: u64,
+    pub flits_ejected: u64,
+    pub packets_injected: u64,
+    pub packets_ejected: u64,
+}
+
+impl Counters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total link activations, productive or not — what the channel
+    /// energy model charges for.
+    pub fn link_transitions(&self) -> u64 {
+        self.link_flits + self.link_wasted
+    }
+
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        self.cycles += other.cycles;
+        self.link_flits += other.link_flits;
+        self.link_wasted += other.link_wasted;
+        self.xbar_traversals += other.xbar_traversals;
+        self.xbar_inputs_active += other.xbar_inputs_active;
+        self.buffer_writes += other.buffer_writes;
+        self.buffer_reads += other.buffer_reads;
+        self.arbitrations += other.arbitrations;
+        self.decode_xors += other.decode_xors;
+        self.decode_reg_writes += other.decode_reg_writes;
+        self.collisions += other.collisions;
+        self.aborts += other.aborts;
+        self.encoded_transfers += other.encoded_transfers;
+        self.wasted_reservations += other.wasted_reservations;
+        self.flits_injected += other.flits_injected;
+        self.flits_ejected += other.flits_ejected;
+        self.packets_injected += other.packets_injected;
+        self.packets_ejected += other.packets_ejected;
+    }
+}
+
+/// Streaming mean/min/max/variance accumulator for packet latencies (or
+/// any nonnegative sample stream).
+///
+/// # Example
+///
+/// ```
+/// use nox_sim::stats::LatencyStats;
+///
+/// let mut s = LatencyStats::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.count(), 3);
+/// assert!((s.mean() - 2.0).abs() < 1e-12);
+/// assert_eq!(s.max(), 3.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyStats {
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+}
+
+impl LatencyStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        LatencyStats {
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        self.sum_sq += x * x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Population variance, or 0 when empty.
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.sum_sq / self.count as f64 - m * m).max(0.0)
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample, or +inf when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample, or -inf when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_merge_adds_fields() {
+        let mut a = Counters {
+            link_flits: 3,
+            cycles: 10,
+            ..Default::default()
+        };
+        let b = Counters {
+            link_flits: 4,
+            link_wasted: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.link_flits, 7);
+        assert_eq!(a.link_wasted, 2);
+        assert_eq!(a.cycles, 10);
+        assert_eq!(a.link_transitions(), 9);
+    }
+
+    #[test]
+    fn latency_stats_moments() {
+        let mut s = LatencyStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-9);
+        assert!((s.std_dev() - 2.0).abs() < 1e-9);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = LatencyStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn merge_equals_combined_stream() {
+        let xs = [1.0, 5.0, 2.5, 8.0, 3.0];
+        let mut all = LatencyStats::new();
+        for &x in &xs {
+            all.record(x);
+        }
+        let mut a = LatencyStats::new();
+        let mut b = LatencyStats::new();
+        for (i, &x) in xs.iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(x)
+            } else {
+                b.record(x)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+}

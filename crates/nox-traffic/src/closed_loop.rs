@@ -1,0 +1,337 @@
+//! Closed-loop (self-throttling) CMP execution driver.
+//!
+//! The paper's application study is trace-driven and therefore
+//! conservative: "allowing network feedback would result in higher
+//! contention favoring the NoX router" (§5.2). This module tests that
+//! conjecture by closing the loop: each core has a bounded number of
+//! outstanding misses (MSHRs); a new miss is issued only after a *think
+//! time* following a reply, so network latency throttles the cores
+//! exactly as in a real CMP, and a faster network converts directly into
+//! more completed misses per nanosecond.
+//!
+//! The driver co-simulates the two physical networks (request and reply)
+//! cycle by cycle, reacting to ejections:
+//!
+//! 1. a core with a free MSHR and an expired think timer injects a 1-flit
+//!    request to a home node (same hot-home distribution as [`crate::cmp`]);
+//! 2. when the request ejects at the home, the home answers after the
+//!    workload's service latency — with a 9-flit data fill for a read
+//!    miss, or (for an upgrade, with the workload's probability) a 1-flit
+//!    ownership grant plus 1-flit invalidations to sharers on the request
+//!    network and their acknowledgements on the reply network;
+//! 3. dirty read misses also emit a fire-and-forget 9-flit writeback on
+//!    the request network, acknowledged on the reply network;
+//! 4. when the fill/grant ejects at the core, the MSHR frees, the miss
+//!    latency is recorded, and a fresh think time is drawn.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use nox_sim::config::NetConfig;
+use nox_sim::network::Network;
+use nox_sim::stats::LatencyStats;
+use nox_sim::topology::NodeId;
+use nox_sim::trace::Trace;
+
+use crate::cmp::{Workload, CTRL_FLITS, DATA_FLITS};
+
+/// Configuration of a closed-loop run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClosedLoopConfig {
+    /// Outstanding-miss limit per core (MSHRs).
+    pub mshrs: u8,
+    /// Mean think time between a reply and the next miss, nanoseconds
+    /// (exponentially distributed).
+    pub think_ns: f64,
+    /// Warmup before measurement starts, in cycles.
+    pub warmup_cycles: u64,
+    /// Measured portion of the run, in cycles.
+    pub measure_cycles: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ClosedLoopConfig {
+    fn default() -> Self {
+        ClosedLoopConfig {
+            mshrs: 4,
+            think_ns: 20.0,
+            warmup_cycles: 2_000,
+            measure_cycles: 10_000,
+            seed: 0xC10,
+        }
+    }
+}
+
+/// The outcome of a closed-loop run.
+#[derive(Clone, Debug)]
+pub struct ClosedLoopResult {
+    /// Misses completed during the measurement window.
+    pub misses_completed: u64,
+    /// Completed misses per nanosecond across all cores — the
+    /// self-throttled "performance" of the CMP.
+    pub miss_throughput_per_ns: f64,
+    /// End-to-end miss latency (request injection to reply ejection), ns.
+    pub miss_latency_ns: LatencyStats,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct CoreState {
+    outstanding: u8,
+    next_issue_cycle: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct MissState {
+    issued_cycle: u64,
+    core: NodeId,
+    measured: bool,
+}
+
+/// Runs a closed-loop simulation of `workload` on two physical networks
+/// of the architecture in `net_cfg`.
+///
+/// Both networks share the architecture's clock, so all times are in the
+/// network clock domain; miss latencies are reported in nanoseconds.
+pub fn run_closed_loop(
+    net_cfg: NetConfig,
+    w: &Workload,
+    cfg: &ClosedLoopConfig,
+) -> ClosedLoopResult {
+    let clock_ns = net_cfg.clock_ns();
+    let empty = Trace::new();
+    let mut request_net = Network::new(net_cfg, &empty, (0.0, 0.0));
+    let mut reply_net = Network::new(net_cfg, &empty, (0.0, 0.0));
+    request_net.enable_eject_log();
+    reply_net.enable_eject_log();
+
+    let topo = net_cfg.topology();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut cores: Vec<CoreState> = (0..topo.cores())
+        .map(|i| CoreState {
+            outstanding: 0,
+            // Desynchronized start.
+            next_issue_cycle: (i as u64 * 7) % 50,
+        })
+        .collect();
+
+    // Request packet -> miss bookkeeping; reply packet -> same. Background
+    // packets (invalidations, acks, writebacks) are not tracked: they load
+    // the networks but gate nothing.
+    let mut by_request: std::collections::HashMap<u64, (MissState, bool)> = Default::default();
+    let mut by_reply: std::collections::HashMap<u64, MissState> = Default::default();
+    // Replies waiting for their service latency:
+    // (inject_at_cycle, home, miss, upgrade).
+    let mut pending_replies: std::collections::VecDeque<(u64, NodeId, MissState, bool)> =
+        Default::default();
+
+    let mut latency = LatencyStats::new();
+    let mut completed = 0u64;
+    let mut req_seen = 0usize;
+    let mut rep_seen = 0usize;
+
+    let total_cycles = cfg.warmup_cycles + cfg.measure_cycles;
+    for cycle in 0..total_cycles {
+        let measuring = cycle >= cfg.warmup_cycles;
+
+        // 1. Cores issue new misses.
+        for (i, core) in cores.iter_mut().enumerate() {
+            if core.outstanding < cfg.mshrs && core.next_issue_cycle <= cycle {
+                let core_id = NodeId(i as u16);
+                let home = pick_home(&topo, core_id, w, &mut rng);
+                if home == core_id {
+                    continue;
+                }
+                let upgrade = rng.gen_bool(w.upgrade_frac);
+                let id = request_net.inject(core_id, home, CTRL_FLITS, false);
+                by_request.insert(
+                    id.0,
+                    (
+                        MissState {
+                            issued_cycle: cycle,
+                            core: core_id,
+                            measured: measuring,
+                        },
+                        upgrade,
+                    ),
+                );
+                // Dirty eviction alongside a read miss: a fire-and-forget
+                // writeback on the request network.
+                if !upgrade && rng.gen_bool(w.writeback_frac) {
+                    request_net.inject(core_id, home, DATA_FLITS, false);
+                }
+                core.outstanding += 1;
+            }
+        }
+
+        // 2. Due replies enter the reply network at their home node: a
+        // data fill for read misses, a control grant (plus invalidation
+        // traffic) for upgrades.
+        while let Some(&(due, home, miss, upgrade)) = pending_replies.front() {
+            if due > cycle {
+                break;
+            }
+            pending_replies.pop_front();
+            let len = if upgrade { CTRL_FLITS } else { DATA_FLITS };
+            let id = reply_net.inject(home, miss.core, len, false);
+            by_reply.insert(id.0, miss);
+            if upgrade {
+                for _ in 0..w.inv_degree {
+                    let sharer = NodeId(rng.gen_range(0..topo.cores()) as u16);
+                    if sharer != home {
+                        request_net.inject(home, sharer, CTRL_FLITS, false);
+                    }
+                    if sharer != miss.core {
+                        reply_net.inject(sharer, miss.core, CTRL_FLITS, false);
+                    }
+                }
+            }
+        }
+
+        // 3. Advance both networks one cycle.
+        request_net.step();
+        reply_net.step();
+
+        // 4. React to ejections.
+        let req_log = request_net.eject_log().unwrap();
+        while req_seen < req_log.len() {
+            let (pkt, _eject) = req_log[req_seen];
+            req_seen += 1;
+            // Invalidations and writebacks eject here too; only tracked
+            // requests trigger replies.
+            if let Some((miss, upgrade)) = by_request.remove(&pkt.0) {
+                let home = request_net.packets().meta(pkt).dest;
+                let service_cycles = (w.service_ns / clock_ns).ceil() as u64;
+                pending_replies.push_back((cycle + service_cycles, home, miss, upgrade));
+            }
+        }
+        let rep_log = reply_net.eject_log().unwrap();
+        while rep_seen < rep_log.len() {
+            let (pkt, eject) = rep_log[rep_seen];
+            rep_seen += 1;
+            // Invalidation acks eject here too; only fills/grants gate.
+            if let Some(miss) = by_reply.remove(&pkt.0) {
+                let core = &mut cores[miss.core.index()];
+                core.outstanding -= 1;
+                let think = sample_exp(&mut rng, cfg.think_ns / clock_ns);
+                core.next_issue_cycle = cycle + 1 + think;
+                if miss.measured && cycle < total_cycles {
+                    latency.record((eject - miss.issued_cycle) as f64 * clock_ns);
+                    completed += 1;
+                }
+            }
+        }
+    }
+
+    ClosedLoopResult {
+        misses_completed: completed,
+        miss_throughput_per_ns: completed as f64 / (cfg.measure_cycles as f64 * clock_ns),
+        miss_latency_ns: latency,
+    }
+}
+
+fn pick_home(
+    topo: &nox_sim::topology::Topology,
+    core: NodeId,
+    w: &Workload,
+    rng: &mut StdRng,
+) -> NodeId {
+    let n = topo.cores();
+    if rng.gen_bool(w.sharing_frac) {
+        let k = rng.gen_range(0..w.hot_homes as usize);
+        NodeId(((k * n) / w.hot_homes as usize + n / (2 * w.hot_homes as usize)) as u16)
+    } else {
+        let mut d = rng.gen_range(0..n - 1) as u16;
+        if d >= core.0 {
+            d += 1;
+        }
+        NodeId(d)
+    }
+}
+
+fn sample_exp(rng: &mut StdRng, mean_cycles: f64) -> u64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    (-mean_cycles * u.ln()).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmp::workload;
+    use nox_sim::config::Arch;
+
+    fn quick() -> ClosedLoopConfig {
+        ClosedLoopConfig {
+            warmup_cycles: 500,
+            measure_cycles: 2_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn closed_loop_makes_progress_on_all_architectures() {
+        let w = workload("water").unwrap();
+        for arch in Arch::ALL {
+            let r = run_closed_loop(NetConfig::small(arch), w, &quick());
+            assert!(r.misses_completed > 100, "{arch}: {r:?}");
+            assert!(r.miss_latency_ns.mean() > 0.0);
+        }
+    }
+
+    #[test]
+    fn mshrs_bound_outstanding_misses() {
+        // With one MSHR and a long think time, throughput is limited by
+        // latency: roughly 1 miss per (latency + think) per core.
+        let w = workload("water").unwrap();
+        let cfg = ClosedLoopConfig {
+            mshrs: 1,
+            think_ns: 50.0,
+            ..quick()
+        };
+        let r = run_closed_loop(NetConfig::small(Arch::Nox), w, &cfg);
+        let per_core = r.miss_throughput_per_ns / 16.0;
+        let bound = 1.0 / (r.miss_latency_ns.mean() + cfg.think_ns);
+        assert!(
+            per_core <= bound * 1.15,
+            "throughput {per_core} exceeds single-MSHR bound {bound}"
+        );
+    }
+
+    #[test]
+    fn more_mshrs_raise_throughput() {
+        let w = workload("ocean").unwrap();
+        let narrow = run_closed_loop(
+            NetConfig::small(Arch::Nox),
+            w,
+            &ClosedLoopConfig {
+                mshrs: 1,
+                think_ns: 5.0,
+                ..quick()
+            },
+        );
+        let wide = run_closed_loop(
+            NetConfig::small(Arch::Nox),
+            w,
+            &ClosedLoopConfig {
+                mshrs: 8,
+                think_ns: 5.0,
+                ..quick()
+            },
+        );
+        assert!(
+            wide.miss_throughput_per_ns > 1.5 * narrow.miss_throughput_per_ns,
+            "memory-level parallelism must raise throughput: {} vs {}",
+            wide.miss_throughput_per_ns,
+            narrow.miss_throughput_per_ns
+        );
+    }
+
+    #[test]
+    fn closed_loop_is_deterministic() {
+        let w = workload("lu").unwrap();
+        let a = run_closed_loop(NetConfig::small(Arch::SpecAccurate), w, &quick());
+        let b = run_closed_loop(NetConfig::small(Arch::SpecAccurate), w, &quick());
+        assert_eq!(a.misses_completed, b.misses_completed);
+        assert_eq!(a.miss_latency_ns, b.miss_latency_ns);
+    }
+}

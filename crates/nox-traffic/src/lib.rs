@@ -1,0 +1,44 @@
+//! Traffic generation for the NoX router reproduction.
+//!
+//! Three generator families cover everything the paper's evaluation
+//! (§5) injects:
+//!
+//! * [`patterns`] — the standard synthetic destination patterns (uniform
+//!   random, transpose, bit-complement, bit-reverse, shuffle, tornado,
+//!   neighbour, hotspot);
+//! * [`synthetic`] — timed traces from Poisson or self-similar Pareto
+//!   ON/OFF arrival processes (`alpha = 1.4`, `b = 8`, varying `T_off`);
+//! * [`cmp`] — a cache-coherent CMP traffic synthesizer standing in for
+//!   the paper's SPLASH-2 / SPEC / TPC traces, emitting 1-flit control
+//!   and 9-flit data packets on two physical networks;
+//! * [`closed_loop`] — a self-throttling execution driver (bounded MSHRs,
+//!   think times) that closes the feedback loop the paper's trace
+//!   methodology deliberately leaves open (§5.2).
+//!
+//! All generators are deterministic given a seed, and all emit
+//! [`nox_sim::Trace`]s timed in nanoseconds so one trace drives every
+//! router architecture at identical offered load.
+//!
+//! # Example
+//!
+//! ```
+//! use nox_sim::topology::Mesh;
+//! use nox_traffic::synthetic::{generate, SyntheticConfig};
+//!
+//! let mesh = Mesh::new(8, 8);
+//! let trace = generate(mesh, &SyntheticConfig::uniform(800.0, 5_000.0));
+//! assert!(!trace.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod closed_loop;
+pub mod cmp;
+pub mod patterns;
+pub mod synthetic;
+
+pub use closed_loop::{run_closed_loop, ClosedLoopConfig, ClosedLoopResult};
+pub use cmp::{synthesize, CmpTraces, Workload, WORKLOADS};
+pub use patterns::Pattern;
+pub use synthetic::{generate, Process, SyntheticConfig};

@@ -1,0 +1,78 @@
+//! A miniature of the paper's Figures 10 and 11: one cache-coherent CMP
+//! workload replayed over two physical networks (request + reply) for all
+//! four router architectures, reporting packet latency and the
+//! energy-delay^2 figure of merit.
+//!
+//! Pass a workload name (default `tpcc`); `--list` shows the available
+//! workloads.
+//!
+//! ```sh
+//! cargo run --release -p nox --example cmp_workload -- ocean
+//! ```
+
+use nox::analysis::apps::{app_run_spec, run_workload};
+use nox::prelude::*;
+use nox::traffic::cmp::workload;
+
+fn main() {
+    let arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "tpcc".to_string());
+    if arg == "--list" {
+        for w in &WORKLOADS {
+            println!(
+                "{:<9} miss rate {:.3}/ns, {:.0}% upgrades, {:.0}% writebacks, sharing {:.0}%",
+                w.name,
+                w.miss_rate_per_ns,
+                w.upgrade_frac * 100.0,
+                w.writeback_frac * 100.0,
+                w.sharing_frac * 100.0
+            );
+        }
+        return;
+    }
+    let w = workload(&arg).unwrap_or_else(|| {
+        eprintln!("unknown workload {arg:?}; try --list");
+        std::process::exit(1);
+    });
+
+    println!(
+        "Workload {}: two 64-bit physical networks, 8x8 mesh, Table 1 parameters\n",
+        w.name
+    );
+    let spec = app_run_spec();
+    let mut table = Table::new(
+        "",
+        &[
+            "architecture",
+            "request net (ns)",
+            "reply net (ns)",
+            "avg latency (ns)",
+            "ED^2 (pJ*ns^2)",
+        ],
+    );
+    let mut results = Vec::new();
+    for arch in Arch::ALL {
+        let r = run_workload(arch, w, 13, &spec);
+        table.row([
+            arch.name().to_string(),
+            format!("{:.2}", r.request_latency_ns),
+            format!("{:.2}", r.reply_latency_ns),
+            format!("{:.2}", r.latency_ns),
+            format!("{:.2e}", r.ed2),
+        ]);
+        results.push(r);
+    }
+    println!("{table}");
+
+    let nox = results.iter().find(|r| r.arch == Arch::Nox).unwrap();
+    for r in &results {
+        if r.arch != Arch::Nox {
+            println!(
+                "NoX vs {:<16} ED^2: {:+.1}%",
+                r.arch.name(),
+                (r.ed2 / nox.ed2 - 1.0) * 100.0
+            );
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! `noxsim` — command-line front end for the NoX reproduction.
+//!
+//! ```text
+//! noxsim sweep  [--arch all|nonspec|fast|acc|nox] [--pattern uniform|...]
+//!               [--process poisson|pareto] [--rates 500,1000,...]
+//!               [--len N] [--cmesh] [--csv]
+//! noxsim app    [--workload tpcc|all] [--seed N]
+//! noxsim power  [--rate MBPS]
+//! noxsim gen    --out FILE [--pattern P] [--rate MBPS] [--duration NS] [--len N] [--seed N]
+//! noxsim replay --trace FILE [--arch A] [--cmesh]
+//! noxsim info
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use nox::analysis::apps::{app_run_spec, run_workload};
+use nox::analysis::sweep::point_from_result;
+use nox::analysis::Table;
+use nox::power::energy::EnergyModel;
+use nox::power::timing::CriticalPath;
+use nox::prelude::*;
+use nox::traffic::cmp::workload;
+use nox::traffic::synthetic::{generate, Process};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "sweep" => cmd_sweep(&opts),
+        "app" => cmd_app(&opts),
+        "power" => cmd_power(&opts),
+        "gen" => cmd_gen(&opts),
+        "replay" => cmd_replay(&opts),
+        "info" => cmd_info(),
+        "help" | "--help" | "-h" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "noxsim — the NoX router reproduction\n\
+         \n\
+         commands:\n\
+           sweep   latency/throughput/ED^2 over injection rates\n\
+           app     cache-coherent CMP workloads on two physical networks\n\
+           power   Figure 12-style power breakdown at one rate\n\
+           gen     generate a trace file\n\
+           replay  run a trace file through a network\n\
+           info    clock periods, area, configuration summary\n\
+         \n\
+         common flags: --arch all|nonspec|fast|acc|nox   --cmesh   --csv\n\
+         run `noxsim <command>` with no flags for sensible defaults."
+    );
+}
+
+type Opts = HashMap<String, String>;
+
+fn parse_opts(rest: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts::new();
+    let mut it = rest.iter().peekable();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got {flag:?}"));
+        };
+        // Boolean flags take no value.
+        if matches!(name, "csv" | "cmesh") {
+            opts.insert(name.to_string(), "true".into());
+            continue;
+        }
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        opts.insert(name.to_string(), value.clone());
+    }
+    Ok(opts)
+}
+
+fn archs(opts: &Opts) -> Result<Vec<Arch>, String> {
+    match opts.get("arch").map(String::as_str).unwrap_or("all") {
+        "all" => Ok(Arch::ALL.to_vec()),
+        "nonspec" => Ok(vec![Arch::NonSpec]),
+        "fast" => Ok(vec![Arch::SpecFast]),
+        "acc" => Ok(vec![Arch::SpecAccurate]),
+        "nox" => Ok(vec![Arch::Nox]),
+        other => Err(format!("unknown --arch {other:?}")),
+    }
+}
+
+fn pattern(opts: &Opts) -> Result<Pattern, String> {
+    let name = opts.get("pattern").map(String::as_str).unwrap_or("uniform");
+    Pattern::ALL
+        .into_iter()
+        .find(|p| p.name() == name)
+        .ok_or_else(|| format!("unknown --pattern {name:?}"))
+}
+
+fn net_config(opts: &Opts, arch: Arch) -> NetConfig {
+    if opts.contains_key("cmesh") {
+        NetConfig::cmesh_paper(arch)
+    } else {
+        NetConfig::paper(arch)
+    }
+}
+
+fn f64_opt(opts: &Opts, key: &str, default: f64) -> Result<f64, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key}: bad number {v:?}")),
+    }
+}
+
+fn cmd_sweep(opts: &Opts) -> Result<(), String> {
+    let rates: Vec<f64> = match opts.get("rates") {
+        None => (1..=10).map(|i| i as f64 * 300.0).collect(),
+        Some(s) => s
+            .split(',')
+            .map(|r| r.trim().parse().map_err(|_| format!("bad rate {r:?}")))
+            .collect::<Result<_, _>>()?,
+    };
+    let process = match opts.get("process").map(String::as_str).unwrap_or("poisson") {
+        "poisson" => Process::Poisson,
+        "pareto" => Process::ParetoOnOff,
+        other => return Err(format!("unknown --process {other:?}")),
+    };
+    let len: u16 = f64_opt(opts, "len", 1.0)? as u16;
+    let pat = pattern(opts)?;
+    let archs = archs(opts)?;
+    let cores = Mesh::new(8, 8);
+    let spec = RunSpec {
+        warmup_ns: 1_500.0,
+        measure_ns: 6_000.0,
+        drain_ns: 30_000.0,
+    };
+
+    let mut t = Table::new(
+        format!("{pat} ({process:?}), {len}-flit packets"),
+        &[
+            "arch",
+            "MB/s/node",
+            "latency ns",
+            "p99 ns",
+            "accepted",
+            "ED^2",
+            "drained",
+        ],
+    );
+    for &arch in &archs {
+        let model = EnergyModel::for_arch(arch);
+        for &rate in &rates {
+            let trace = generate(
+                cores,
+                &SyntheticConfig {
+                    pattern: pat,
+                    process,
+                    rate_mbps_per_node: rate,
+                    len,
+                    flit_bytes: 8,
+                    duration_ns: 40_000.0,
+                    seed: f64_opt(opts, "seed", 7.0)? as u64,
+                },
+            );
+            let r = nox::sim::run(net_config(opts, arch), &trace, &spec);
+            let p99 = r.latency_percentile_ns(99.0);
+            let p = point_from_result(rate, r, &model);
+            t.row([
+                arch.name().to_string(),
+                format!("{rate:.0}"),
+                format!("{:.2}", p.latency_ns),
+                format!("{p99:.2}"),
+                format!("{:.0}", p.accepted_mbps),
+                format!("{:.3e}", p.ed2),
+                p.drained.to_string(),
+            ]);
+        }
+    }
+    emit(opts, &t);
+    Ok(())
+}
+
+fn cmd_app(opts: &Opts) -> Result<(), String> {
+    let which = opts.get("workload").map(String::as_str).unwrap_or("all");
+    let seed = f64_opt(opts, "seed", 13.0)? as u64;
+    let workloads: Vec<_> = if which == "all" {
+        WORKLOADS.iter().collect()
+    } else {
+        vec![workload(which).ok_or_else(|| format!("unknown --workload {which:?}"))?]
+    };
+    let spec = app_run_spec();
+    let mut t = Table::new(
+        "application workloads (request + reply networks)",
+        &["workload", "arch", "latency ns", "ED^2", "drained"],
+    );
+    for w in workloads {
+        for arch in archs(opts)? {
+            let r = run_workload(arch, w, seed, &spec);
+            t.row([
+                w.name.to_string(),
+                arch.name().to_string(),
+                format!("{:.2}", r.latency_ns),
+                format!("{:.3e}", r.ed2),
+                r.drained.to_string(),
+            ]);
+        }
+    }
+    emit(opts, &t);
+    Ok(())
+}
+
+fn cmd_power(opts: &Opts) -> Result<(), String> {
+    let rate = f64_opt(opts, "rate", 2_000.0)?;
+    let cores = Mesh::new(8, 8);
+    let trace = generate(cores, &SyntheticConfig::uniform(rate, 40_000.0));
+    let spec = RunSpec {
+        warmup_ns: 1_500.0,
+        measure_ns: 8_000.0,
+        drain_ns: 30_000.0,
+    };
+    let mut t = Table::new(
+        format!("dynamic power (mW) @ {rate:.0} MB/s/node uniform"),
+        &[
+            "arch", "link", "buffer", "switch", "arb", "decode", "total", "link %",
+        ],
+    );
+    for arch in archs(opts)? {
+        let r = nox::sim::run(net_config(opts, arch), &trace, &spec);
+        let b = EnergyModel::for_arch(arch).breakdown(&r.window_counters);
+        let w = r.window_ns;
+        t.row([
+            arch.name().to_string(),
+            format!("{:.1}", b.link_pj / w),
+            format!("{:.1}", b.buffer_pj / w),
+            format!("{:.1}", b.xbar_pj / w),
+            format!("{:.1}", b.arb_pj / w),
+            format!("{:.1}", b.decode_pj / w),
+            format!("{:.1}", b.power_mw(w)),
+            format!("{:.1}", b.link_share() * 100.0),
+        ]);
+    }
+    emit(opts, &t);
+    Ok(())
+}
+
+fn cmd_gen(opts: &Opts) -> Result<(), String> {
+    let out = opts.get("out").ok_or("gen needs --out FILE")?;
+    let trace = generate(
+        Mesh::new(8, 8),
+        &SyntheticConfig {
+            pattern: pattern(opts)?,
+            process: Process::Poisson,
+            rate_mbps_per_node: f64_opt(opts, "rate", 1_000.0)?,
+            len: f64_opt(opts, "len", 1.0)? as u16,
+            flit_bytes: 8,
+            duration_ns: f64_opt(opts, "duration", 10_000.0)?,
+            seed: f64_opt(opts, "seed", 7.0)? as u64,
+        },
+    );
+    let mut file = std::fs::File::create(out).map_err(|e| e.to_string())?;
+    trace.write_to(&mut file).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} packets ({} flits) to {out}",
+        trace.len(),
+        trace.total_flits()
+    );
+    Ok(())
+}
+
+fn cmd_replay(opts: &Opts) -> Result<(), String> {
+    let path = opts.get("trace").ok_or("replay needs --trace FILE")?;
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let trace = Trace::parse(&text).map_err(|e| e.to_string())?;
+    let spec = RunSpec {
+        warmup_ns: 1_000.0,
+        measure_ns: trace.horizon_ns() * 0.5,
+        drain_ns: trace.horizon_ns() * 4.0 + 10_000.0,
+    };
+    let mut t = Table::new(
+        format!("replay of {path} ({} packets)", trace.len()),
+        &[
+            "arch",
+            "latency ns",
+            "p99 ns",
+            "accepted MB/s/node",
+            "drained",
+        ],
+    );
+    for arch in archs(opts)? {
+        let r = nox::sim::run(net_config(opts, arch), &trace, &spec);
+        t.row([
+            arch.name().to_string(),
+            format!("{:.2}", r.avg_latency_ns()),
+            format!("{:.2}", r.latency_percentile_ns(99.0)),
+            format!("{:.0}", r.accepted_mbps_per_node()),
+            r.drained.to_string(),
+        ]);
+    }
+    emit(opts, &t);
+    Ok(())
+}
+
+fn cmd_info() -> Result<(), String> {
+    let mut t = Table::new(
+        "NoX reproduction — physical summary",
+        &["arch", "mesh clock ns", "cmesh clock ns", "tile area um^2"],
+    );
+    for arch in Arch::ALL {
+        t.row([
+            arch.name().to_string(),
+            format!("{:.2}", CriticalPath::new(arch).period_ps() / 1000.0),
+            format!("{:.2}", CriticalPath::cmesh(arch).period_ps() / 1000.0),
+            format!("{:.0}", Floorplan::for_arch(arch).area_um2()),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "NoX area penalty: {:.1}%; decode overhead: {:.0} ps; link: {:.0} ps / 2 mm",
+        Floorplan::nox().overhead_vs_baseline() * 100.0,
+        CriticalPath::new(Arch::Nox).period_ps()
+            - CriticalPath::new(Arch::SpecAccurate).period_ps(),
+        Channel::paper().delay_ps(),
+    );
+    Ok(())
+}
+
+fn emit(opts: &Opts, t: &Table) {
+    if opts.contains_key("csv") {
+        print!("{}", t.to_csv());
+    } else {
+        println!("{t}");
+    }
+}

@@ -1,0 +1,166 @@
+//! Integration tests asserting the paper's headline claims across the
+//! whole stack. These are the qualitative "shapes" of the evaluation —
+//! who wins where — kept fast enough for `cargo test`.
+
+use nox::power::area::Floorplan;
+use nox::power::energy::EnergyModel;
+use nox::power::timing::CriticalPath;
+use nox::prelude::*;
+use nox::sim::sim::run;
+use nox::traffic::synthetic::generate;
+
+fn spec() -> RunSpec {
+    RunSpec {
+        warmup_ns: 500.0,
+        measure_ns: 1_500.0,
+        drain_ns: 20_000.0,
+    }
+}
+
+fn uniform_trace(rate: f64) -> Trace {
+    generate(Mesh::new(8, 8), &SyntheticConfig::uniform(rate, 8_000.0))
+}
+
+#[test]
+fn table2_clock_periods_from_timing_model() {
+    for arch in Arch::ALL {
+        assert_eq!(
+            CriticalPath::new(arch).period_table2_ps(),
+            arch.clock_ps(),
+            "{arch}"
+        );
+    }
+}
+
+#[test]
+fn section_6_2_area_claims() {
+    let base = Floorplan::baseline();
+    let nox = Floorplan::nox();
+    assert!((nox.overhead_vs_baseline() - 0.172).abs() < 0.005);
+    assert!((nox.width_um() - base.width_um() - 28.2).abs() < 1e-9);
+}
+
+#[test]
+fn zero_load_latency_ranks_by_clock_period() {
+    // At very low load every design is a single-cycle router, so latency
+    // in ns ranks by Table 2 clock: Spec-Fast < Spec-Acc < NoX < NonSpec.
+    let trace = uniform_trace(100.0);
+    let lat: Vec<f64> = Arch::ALL
+        .iter()
+        .map(|&a| run(NetConfig::paper(a), &trace, &spec()).avg_latency_ns())
+        .collect();
+    let (nonspec, fast, acc, nox) = (lat[0], lat[1], lat[2], lat[3]);
+    assert!(fast < acc && acc < nox && nox < nonspec, "{lat:?}");
+    // And the gaps are clock-proportional within a tolerance.
+    assert!((nox / fast - 760.0 / 690.0).abs() < 0.06, "{lat:?}");
+}
+
+#[test]
+fn nox_wins_at_high_load_uniform() {
+    // Figure 8a: above the crossover NoX offers the best latency.
+    let trace = uniform_trace(2_400.0);
+    let lat: Vec<f64> = Arch::ALL
+        .iter()
+        .map(|&a| run(NetConfig::paper(a), &trace, &spec()).avg_latency_ns())
+        .collect();
+    let nox = lat[3];
+    assert!(
+        lat[..3].iter().all(|&l| nox < l),
+        "NoX must lead at 2.4 GB/s/node: {lat:?}"
+    );
+}
+
+#[test]
+fn spec_fast_saturates_first() {
+    // Figure 8: Spec-Fast saturates well before the other routers — at
+    // 2.4 GB/s/node its queues have blown up while NoX still runs at
+    // near-zero-load latency.
+    let trace = uniform_trace(2_400.0);
+    let fast = run(NetConfig::paper(Arch::SpecFast), &trace, &spec());
+    let nox = run(NetConfig::paper(Arch::Nox), &trace, &spec());
+    assert!(nox.drained, "NoX should still be below saturation");
+    assert!(
+        fast.avg_latency_ns() > 10.0 * nox.avg_latency_ns(),
+        "Spec-Fast {:.1} ns vs NoX {:.1} ns: Spec-Fast should be saturated",
+        fast.avg_latency_ns(),
+        nox.avg_latency_ns()
+    );
+}
+
+#[test]
+fn nox_never_wastes_link_cycles_on_single_flit_traffic() {
+    // §2: every NoX link cycle is productive (aborts need multi-flit
+    // packets); the speculative routers waste cycles on collisions; the
+    // sequential router never wastes any.
+    let trace = uniform_trace(2_000.0);
+    let nox = run(NetConfig::paper(Arch::Nox), &trace, &spec());
+    assert_eq!(nox.window_counters.link_wasted, 0);
+    assert_eq!(nox.window_counters.aborts, 0);
+    assert!(
+        nox.window_counters.encoded_transfers > 0,
+        "collisions happen"
+    );
+
+    for arch in [Arch::SpecFast, Arch::SpecAccurate] {
+        let r = run(NetConfig::paper(arch), &trace, &spec());
+        assert!(
+            r.window_counters.link_wasted > 0,
+            "{arch} must misspeculate"
+        );
+        assert_eq!(r.window_counters.link_wasted, r.window_counters.collisions);
+    }
+
+    let ns = run(NetConfig::paper(Arch::NonSpec), &trace, &spec());
+    assert_eq!(ns.window_counters.link_wasted, 0);
+}
+
+#[test]
+fn figure12_link_power_dominates() {
+    // §5.3: the interconnection channel is the most energy-consuming
+    // component, around 74% of network power at 2 GB/s/node.
+    let trace = uniform_trace(2_000.0);
+    let r = run(NetConfig::paper(Arch::Nox), &trace, &spec());
+    let b = EnergyModel::for_arch(Arch::Nox).breakdown(&r.window_counters);
+    assert!(
+        (0.65..0.82).contains(&b.link_share()),
+        "link share {:.2} should be ~0.74",
+        b.link_share()
+    );
+}
+
+#[test]
+fn nox_beats_spec_accurate_in_per_cycle_efficiency() {
+    // The §3.2 efficiency ordering, measured as accepted flits per node
+    // per cycle at a load past Spec-Accurate's comfort zone.
+    let trace = uniform_trace(2_800.0);
+    let acc = run(NetConfig::paper(Arch::SpecAccurate), &trace, &spec());
+    let nox = run(NetConfig::paper(Arch::Nox), &trace, &spec());
+    assert!(
+        nox.accepted_flits_per_node_cycle() >= acc.accepted_flits_per_node_cycle(),
+        "NoX {:.3} vs Spec-Accurate {:.3} flits/node/cycle",
+        nox.accepted_flits_per_node_cycle(),
+        acc.accepted_flits_per_node_cycle()
+    );
+}
+
+#[test]
+fn scheduled_mode_ablation_costs_throughput() {
+    // DESIGN.md ablation: disabling Scheduled mode must hurt near
+    // saturation but keep the network correct.
+    let trace = uniform_trace(2_800.0);
+    let full = run(NetConfig::paper(Arch::Nox), &trace, &spec());
+    let ablated = run(
+        NetConfig {
+            nox_scheduled_mode: false,
+            ..NetConfig::paper(Arch::Nox)
+        },
+        &trace,
+        &spec(),
+    );
+    assert!(
+        ablated.avg_latency_ns() > full.avg_latency_ns(),
+        "ablation {:.2} vs full {:.2}",
+        ablated.avg_latency_ns(),
+        full.avg_latency_ns()
+    );
+}
