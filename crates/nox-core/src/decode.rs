@@ -100,7 +100,7 @@ pub enum DecodePlan<T> {
 ///     _ => unreachable!(),
 /// }
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct Decoder<T> {
     reg: Option<Coded<T>>,
 }

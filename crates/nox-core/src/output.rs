@@ -51,7 +51,7 @@ pub enum Mode {
 /// `multiflit` ∋ i ⇔ input i's flit belongs to a packet of more than one
 /// flit; `tail` ∋ i ⇔ it is the packet's last flit. A single-flit packet is
 /// in `tail` but not in `multiflit`.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct RequestSet {
     /// Inputs presenting a decodable, credit-qualified flit for this output.
     pub req: PortSet,
@@ -119,7 +119,7 @@ impl NoxDecision {
     }
 }
 
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 enum State {
     Recovery { chain: PortSet },
     Scheduled { input: PortId, chain: bool },
@@ -128,7 +128,7 @@ enum State {
 
 /// Ablation switches for architecture studies (see the `ablation` harness
 /// in the `bench` crate). The real NoX router enables everything.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct NoxOptions {
     /// Enable *Scheduled* mode (§2.6). When disabled the controller stays
     /// in Recovery: collision losers still chain correctly, but nothing is
@@ -152,7 +152,11 @@ impl Default for NoxOptions {
 /// apply the returned [`NoxDecision`]: XOR the `drive` flits onto the link,
 /// consume the `serviced` flits. See the [crate-level example](crate) for
 /// the paper's Figure 2 replayed against this type.
-#[derive(Clone, Debug)]
+///
+/// `Eq`/`Hash` compare the full architectural state (mode, masks, chain,
+/// arbiter priority) — `nox-verify` uses them to deduplicate states while
+/// exhaustively exploring the protocol's reachable state space.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct OutputCtl {
     n: u8,
     state: State,

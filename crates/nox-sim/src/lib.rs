@@ -51,6 +51,8 @@ pub mod histogram;
 pub mod network;
 pub mod router;
 pub mod routing;
+#[cfg(feature = "sanitize")]
+pub mod sanitize;
 pub mod sim;
 pub mod sink;
 pub mod source;

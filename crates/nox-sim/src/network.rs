@@ -53,6 +53,9 @@ pub struct Network {
     measured_total: u64,
     measured_ejected: u64,
     eject_log: Option<Vec<(PacketId, u64)>>,
+    /// Runtime switch for the per-cycle sanitizer audits.
+    #[cfg(feature = "sanitize")]
+    sanitize: bool,
 }
 
 impl Network {
@@ -119,7 +122,18 @@ impl Network {
             measured_total,
             measured_ejected: 0,
             eject_log: None,
+            #[cfg(feature = "sanitize")]
+            sanitize: false,
         }
+    }
+
+    /// Turns on the per-cycle sanitizer audits: flit conservation,
+    /// credit-loop accounting, and §3.2 link-cycle productivity
+    /// classification, re-checked at the end of every [`step`](Self::step).
+    /// Any audit failure panics with a description of the broken books.
+    #[cfg(feature = "sanitize")]
+    pub fn enable_sanitizer(&mut self) {
+        self.sanitize = true;
     }
 
     /// Enables recording of `(packet, eject cycle)` pairs — useful for
@@ -337,6 +351,92 @@ impl Network {
         }
 
         self.cycle += 1;
+
+        #[cfg(feature = "sanitize")]
+        if self.sanitize {
+            self.sanitize_audit();
+        }
+    }
+
+    /// Runs the global conservation audits over the current state. See
+    /// the [`sanitize`](crate::sanitize) module for what each check
+    /// proves; any failure is a router bug and panics immediately.
+    #[cfg(feature = "sanitize")]
+    fn sanitize_audit(&self) {
+        use crate::sanitize::{
+            check_credit_loop, check_flit_conservation, check_productivity, CreditLoopView,
+        };
+        use nox_core::PortId;
+
+        let fail = |e: String| panic!("sanitizer (cycle {}): {e}", self.cycle);
+
+        // Flit conservation: every word anywhere in the network
+        // contributes its constituent flit keys.
+        let mut live: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for r in &self.routers {
+            for p in 0..r.ports() {
+                let ip = r.input(PortId(p));
+                for w in ip.buffered_words() {
+                    live.extend(w.keys());
+                }
+                if let Some(reg) = ip.decode_register() {
+                    live.extend(reg.keys());
+                }
+            }
+        }
+        for sink in &self.sinks {
+            for w in sink.buffered_words() {
+                live.extend(w.keys());
+            }
+            if let Some(reg) = sink.decode_register() {
+                live.extend(reg.keys());
+            }
+        }
+        for s in &self.in_flight {
+            live.extend(s.word.keys());
+        }
+        if let Err(e) = check_flit_conservation(&self.counters, &live) {
+            fail(e);
+        }
+
+        // Credit-loop accounting, one loop per connected output port.
+        for r in &self.routers {
+            for p in 0..r.ports() {
+                let out = PortId(p);
+                let downstream_occupancy = if self.topo.is_local(out) {
+                    let core = self.topo.core_at(r.node(), out);
+                    self.sinks[core.index()].occupancy()
+                } else if let Some((dest, inp)) = self.topo.link_dest(r.node(), out) {
+                    self.routers[dest.index()].input(inp).occupancy()
+                } else {
+                    continue; // mesh-edge port: no link, no credit loop
+                };
+                let view = CreditLoopView {
+                    label: format!("{} port {out}", r.node()),
+                    credits: r.output(out).credits(),
+                    downstream_occupancy,
+                    words_in_flight: self
+                        .in_flight
+                        .iter()
+                        .filter(|s| s.node == r.node() && s.out == out)
+                        .count(),
+                    credits_in_flight: self
+                        .credits_in_flight
+                        .iter()
+                        .filter(|&&(_, node, port)| node == r.node() && port == p)
+                        .count(),
+                    depth: self.cfg.buffer_depth,
+                };
+                if let Err(e) = check_credit_loop(&view) {
+                    fail(e);
+                }
+            }
+        }
+
+        // §3.2 link-cycle productivity classification.
+        if let Err(e) = check_productivity(self.cfg.arch, &self.counters) {
+            fail(e);
+        }
     }
 
     /// Runs `n` cycles.

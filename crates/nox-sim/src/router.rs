@@ -113,6 +113,19 @@ impl InputPort {
         self.fifo.is_empty() && !self.decoder.is_mid_chain()
     }
 
+    /// Words currently buffered, head first (sanitizer support).
+    #[cfg(feature = "sanitize")]
+    pub(crate) fn buffered_words(&self) -> impl Iterator<Item = &Word> {
+        self.fifo.iter()
+    }
+
+    /// The decode register contents, if a chain is in progress
+    /// (sanitizer support).
+    #[cfg(feature = "sanitize")]
+    pub(crate) fn decode_register(&self) -> Option<&Word> {
+        self.decoder.register()
+    }
+
     /// Starts a new cycle: promotes the freshness flag.
     fn begin_cycle(&mut self) {
         self.fresh = self.fresh_next;
@@ -414,7 +427,13 @@ impl Router {
     ) {
         let word: Word = drive
             .iter()
-            .map(|i| presented[i.index()].as_ref().unwrap().word.clone())
+            .map(|i| {
+                presented[i.index()]
+                    .as_ref()
+                    .expect("engine drove an input that presented nothing")
+                    .word
+                    .clone()
+            })
             .collect();
         let op = &mut self.outputs[out.index()];
         assert!(op.connected, "drove a word onto an unconnected port");
@@ -466,7 +485,10 @@ impl Router {
                 self.drive_link(PortId(o as u8), d.drive, &presented, ctx);
             }
             for i in d.serviced.iter() {
-                let p = presented[i.index()].as_ref().unwrap().clone();
+                let p = presented[i.index()]
+                    .as_ref()
+                    .expect("NoX engine serviced an input that presented nothing")
+                    .clone();
                 self.service_input(i, &p, ctx);
             }
         }
@@ -504,7 +526,10 @@ impl Router {
             }
             if let Some(i) = d.drive {
                 self.drive_link(PortId(o as u8), PortSet::single(i), &presented, ctx);
-                let p = presented[i.index()].as_ref().unwrap().clone();
+                let p = presented[i.index()]
+                    .as_ref()
+                    .expect("spec engine granted an input that presented nothing")
+                    .clone();
                 self.service_input(i, &p, ctx);
             }
         }
@@ -530,7 +555,10 @@ impl Router {
             }
             if let Some(i) = d.drive {
                 self.drive_link(PortId(o as u8), PortSet::single(i), &presented, ctx);
-                let p = presented[i.index()].as_ref().unwrap().clone();
+                let p = presented[i.index()]
+                    .as_ref()
+                    .expect("sequential engine granted an input that presented nothing")
+                    .clone();
                 self.service_input(i, &p, ctx);
             }
         }

@@ -1,0 +1,187 @@
+//! Simulation sanitizer: per-cycle conservation audits (the `sanitize`
+//! cargo feature).
+//!
+//! The simulator's inline assertions catch *local* protocol violations
+//! (buffer overflow, out-of-order flits, payload corruption at ejection).
+//! The sanitizer closes the *global* books every cycle:
+//!
+//! * **flit conservation** — every injected, not-yet-ejected flit is
+//!   present somewhere in the network (buffered, in a decode register, or
+//!   on a link), and no ejected flit leaves a stale copy behind;
+//! * **credit-loop accounting** — for every link, buffer slots are
+//!   conserved: available credits + occupied downstream slots + words in
+//!   flight + credits in return flight always equal the buffer depth;
+//! * **link-cycle productivity** — every wasted link cycle is explained
+//!   by its architecture's waste mechanism per §3.2: aborts for NoX,
+//!   failed speculation for Spec, and nothing at all for Non-Spec.
+//!
+//! The checks here are pure functions over counter snapshots and
+//! occupancy views; [`Network`](crate::network::Network) assembles the
+//! views and panics on the first audit failure, in keeping with the
+//! simulator's fail-fast assertion style.
+
+use std::collections::HashSet;
+
+use crate::config::Arch;
+use crate::stats::Counters;
+
+/// Slot accounting for one credit loop (one connected output port and
+/// the input buffer it feeds).
+#[derive(Clone, Debug)]
+pub struct CreditLoopView {
+    /// Where the loop lives, for diagnostics (e.g. `"(1,2) port E"`).
+    pub label: String,
+    /// Credits available at the upstream output port.
+    pub credits: usize,
+    /// Words occupying the downstream buffer.
+    pub downstream_occupancy: usize,
+    /// Words launched onto this link, not yet delivered.
+    pub words_in_flight: usize,
+    /// Credits freed downstream, still in their return flight.
+    pub credits_in_flight: usize,
+    /// The downstream buffer depth the loop must conserve.
+    pub depth: usize,
+}
+
+/// Checks that live flit keys exactly account for the injected-minus-
+/// ejected difference. `live_keys` is the set of distinct flit keys
+/// appearing anywhere in the network (buffers, decode registers, links).
+pub fn check_flit_conservation(c: &Counters, live_keys: &HashSet<u64>) -> Result<(), String> {
+    let in_network = c.flits_injected - c.flits_ejected;
+    if live_keys.len() as u64 != in_network {
+        return Err(format!(
+            "flit conservation broken: {} injected - {} ejected = {} flits should be in the \
+             network, but {} distinct flit keys are present",
+            c.flits_injected,
+            c.flits_ejected,
+            in_network,
+            live_keys.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Checks slot conservation for one credit loop.
+pub fn check_credit_loop(v: &CreditLoopView) -> Result<(), String> {
+    let slots = v.credits + v.downstream_occupancy + v.words_in_flight + v.credits_in_flight;
+    if slots != v.depth {
+        return Err(format!(
+            "credit loop {} lost track of buffer slots: {} credits + {} buffered + {} on link + \
+             {} credits in flight = {} != depth {}",
+            v.label,
+            v.credits,
+            v.downstream_occupancy,
+            v.words_in_flight,
+            v.credits_in_flight,
+            slots,
+            v.depth
+        ));
+    }
+    Ok(())
+}
+
+/// Checks the §3.2 link-cycle productivity classification: each
+/// architecture may only waste link cycles through its own mechanism,
+/// and every wasted cycle must be accounted for by it.
+pub fn check_productivity(arch: Arch, c: &Counters) -> Result<(), String> {
+    let fail = |msg: String| Err(format!("link productivity ({arch}): {msg}"));
+    match arch {
+        Arch::NonSpec => {
+            if c.link_wasted != 0 || c.aborts != 0 || c.collisions != 0 || c.encoded_transfers != 0
+            {
+                return fail(format!(
+                    "non-speculative links are always productive, yet wasted={} aborts={} \
+                     collisions={} encoded={}",
+                    c.link_wasted, c.aborts, c.collisions, c.encoded_transfers
+                ));
+            }
+        }
+        Arch::SpecFast | Arch::SpecAccurate => {
+            if c.link_wasted != c.collisions {
+                return fail(format!(
+                    "every wasted link cycle must be a failed speculation: wasted={} collisions={}",
+                    c.link_wasted, c.collisions
+                ));
+            }
+            if c.aborts != 0 || c.encoded_transfers != 0 {
+                return fail(format!(
+                    "NoX events on a speculative router: aborts={} encoded={}",
+                    c.aborts, c.encoded_transfers
+                ));
+            }
+        }
+        Arch::Nox => {
+            if c.link_wasted != c.aborts {
+                return fail(format!(
+                    "every wasted link cycle must be an abort: wasted={} aborts={}",
+                    c.link_wasted, c.aborts
+                ));
+            }
+            if c.collisions != 0 || c.wasted_reservations != 0 {
+                return fail(format!(
+                    "speculation events on a NoX router: collisions={} wasted_reservations={}",
+                    c.collisions, c.wasted_reservations
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters() -> Counters {
+        Counters::new()
+    }
+
+    #[test]
+    fn flit_conservation_accepts_balanced_books() {
+        let mut c = counters();
+        c.flits_injected = 5;
+        c.flits_ejected = 2;
+        let live: HashSet<u64> = [10, 11, 12].into_iter().collect();
+        assert!(check_flit_conservation(&c, &live).is_ok());
+    }
+
+    #[test]
+    fn flit_conservation_rejects_a_lost_flit() {
+        let mut c = counters();
+        c.flits_injected = 3;
+        c.flits_ejected = 0;
+        let live: HashSet<u64> = [10, 11].into_iter().collect();
+        let err = check_flit_conservation(&c, &live).unwrap_err();
+        assert!(err.contains("flit conservation broken"), "{err}");
+    }
+
+    #[test]
+    fn credit_loop_rejects_leaked_slot() {
+        let v = CreditLoopView {
+            label: "test".into(),
+            credits: 1,
+            downstream_occupancy: 1,
+            words_in_flight: 0,
+            credits_in_flight: 0,
+            depth: 4,
+        };
+        assert!(check_credit_loop(&v).unwrap_err().contains("lost track"));
+    }
+
+    #[test]
+    fn productivity_classifies_per_architecture() {
+        let mut c = counters();
+        c.link_wasted = 3;
+        c.aborts = 3;
+        assert!(check_productivity(Arch::Nox, &c).is_ok());
+        assert!(check_productivity(Arch::NonSpec, &c).is_err());
+        // A wasted cycle with no abort is unexplained on NoX.
+        c.aborts = 2;
+        assert!(check_productivity(Arch::Nox, &c).is_err());
+        // Spec explains waste through collisions instead.
+        c.aborts = 0;
+        c.collisions = 3;
+        assert!(check_productivity(Arch::SpecFast, &c).is_ok());
+        assert!(check_productivity(Arch::SpecAccurate, &c).is_ok());
+    }
+}

@@ -65,6 +65,24 @@ impl Sink {
         self.fifo.is_empty() && !self.decoder.is_mid_chain()
     }
 
+    /// Current ejection buffer occupancy in words.
+    pub fn occupancy(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// Words currently buffered, head first (sanitizer support).
+    #[cfg(feature = "sanitize")]
+    pub(crate) fn buffered_words(&self) -> impl Iterator<Item = &Word> {
+        self.fifo.iter()
+    }
+
+    /// The decode register contents, if a chain is in progress
+    /// (sanitizer support).
+    #[cfg(feature = "sanitize")]
+    pub(crate) fn decode_register(&self) -> Option<&Word> {
+        self.decoder.register()
+    }
+
     /// Drains at most one presented flit (or performs one decode latch).
     ///
     /// # Panics

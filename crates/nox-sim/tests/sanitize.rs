@@ -1,0 +1,60 @@
+//! Sanitized end-to-end runs: every architecture under contention-heavy
+//! traffic with the per-cycle conservation audits enabled. Only compiled
+//! with the `sanitize` feature (the workspace `nox` facade enables it by
+//! default, so `cargo test` at the workspace root runs these).
+#![cfg(feature = "sanitize")]
+
+use nox_sim::config::{Arch, NetConfig};
+use nox_sim::topology::NodeId;
+use nox_sim::trace::{PacketEvent, Trace};
+use nox_sim::Network;
+
+/// Hotspot traffic: every node fires at a single destination so the
+/// victim router sees sustained multi-way collisions, plus a few long
+/// packets to exercise streaming, aborts, and mid-chain credit stalls.
+fn contention_trace(cores: u16) -> Trace {
+    let mut events = Vec::new();
+    for i in 0..cores {
+        events.push(PacketEvent {
+            time_ns: i as f64 * 0.3,
+            src: NodeId(i),
+            dest: NodeId(5),
+            len: if i % 3 == 0 { 4 } else { 1 },
+        });
+        events.push(PacketEvent {
+            time_ns: 2.0 + i as f64 * 0.2,
+            src: NodeId(i),
+            dest: NodeId((i + 7) % cores),
+            len: 2,
+        });
+    }
+    events.sort_by(|a, b| a.time_ns.total_cmp(&b.time_ns));
+    let mut t = Trace::new();
+    for e in events {
+        t.push(e);
+    }
+    t
+}
+
+#[test]
+fn sanitized_contention_run_stays_clean_on_every_arch() {
+    for arch in Arch::ALL {
+        let cfg = NetConfig::small(arch);
+        let mut net = Network::new(cfg, &contention_trace(16), (0.0, f64::MAX));
+        net.enable_sanitizer();
+        assert!(
+            net.run_to_quiescence(20_000),
+            "{arch} failed to drain under sanitizer"
+        );
+        let c = net.counters();
+        assert_eq!(c.flits_injected, c.flits_ejected, "{arch} lost flits");
+    }
+}
+
+#[test]
+fn sanitizer_audits_an_idle_network_without_complaint() {
+    let mut net = Network::new(NetConfig::small(Arch::Nox), &Trace::new(), (0.0, f64::MAX));
+    net.enable_sanitizer();
+    net.run(50);
+    assert!(net.is_quiescent());
+}

@@ -1,0 +1,77 @@
+//! Mutation smoke testing: each mutation flips one documented protocol
+//! rule in the model's harness plumbing (never in `nox-core` itself) and
+//! the checker must find a violation, proving the invariants have teeth.
+
+/// A single protocol rule to disable or invert.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Mutation {
+    /// While a collision chain is outstanding, a third-party input's flit
+    /// bypasses the switch mask and drives the link directly (breaks the
+    /// mask discipline of §2.2; corrupts the receiver's decode register).
+    ThirdPartyDuringChain,
+    /// The zero-credit freeze (DESIGN.md clarification 4) is disabled:
+    /// the output keeps arbitrating and driving with no credits.
+    IgnoreCreditFreeze,
+    /// An encoded transfer services *all* colliding inputs instead of the
+    /// sole winner, so the losers never replay and the chain can't decode.
+    ServiceAllCollided,
+    /// An aborted cycle ships its invalid superposition word downstream
+    /// (and pays a credit) instead of wasting the cycle.
+    DeliverAbortedWord,
+    /// The receiver ignores the encoded marker: an encoded head is
+    /// presented as a plain flit instead of being latched.
+    SkipEncodedLatch,
+    /// The stream lock is broken: other inputs' flits XOR onto the link
+    /// mid-packet while an unscheduled multi-flit packet streams.
+    NoStreamLock,
+    /// A zero-credit stall tears down the outstanding collision chain
+    /// instead of freezing it (violates clarification 1's chain hold).
+    DropChainOnStall,
+    /// Completing a decode chain via `DecodeKeep` also pops the FIFO
+    /// head, dropping the chain's final flit.
+    PopOnDecodeKeep,
+}
+
+impl Mutation {
+    /// All mutations, in documentation order.
+    pub const ALL: [Mutation; 8] = [
+        Mutation::ThirdPartyDuringChain,
+        Mutation::IgnoreCreditFreeze,
+        Mutation::ServiceAllCollided,
+        Mutation::DeliverAbortedWord,
+        Mutation::SkipEncodedLatch,
+        Mutation::NoStreamLock,
+        Mutation::DropChainOnStall,
+        Mutation::PopOnDecodeKeep,
+    ];
+
+    /// Stable identifier for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::ThirdPartyDuringChain => "third-party-during-chain",
+            Mutation::IgnoreCreditFreeze => "ignore-credit-freeze",
+            Mutation::ServiceAllCollided => "service-all-collided",
+            Mutation::DeliverAbortedWord => "deliver-aborted-word",
+            Mutation::SkipEncodedLatch => "skip-encoded-latch",
+            Mutation::NoStreamLock => "no-stream-lock",
+            Mutation::DropChainOnStall => "drop-chain-on-stall",
+            Mutation::PopOnDecodeKeep => "pop-on-decode-keep",
+        }
+    }
+
+    /// The rule being flipped, for reports.
+    pub fn description(self) -> &'static str {
+        match self {
+            Mutation::ThirdPartyDuringChain => {
+                "third-party flit bypasses the switch mask during a collision chain"
+            }
+            Mutation::IgnoreCreditFreeze => "zero-credit freeze disabled",
+            Mutation::ServiceAllCollided => "encoded transfer services every collider",
+            Mutation::DeliverAbortedWord => "aborted cycle delivers its invalid word",
+            Mutation::SkipEncodedLatch => "encoded marker ignored at the receiver",
+            Mutation::NoStreamLock => "stream lock broken mid-packet",
+            Mutation::DropChainOnStall => "credit stall tears down the collision chain",
+            Mutation::PopOnDecodeKeep => "chain-final decode pops the FIFO head",
+        }
+    }
+}

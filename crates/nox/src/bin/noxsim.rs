@@ -8,6 +8,7 @@
 //! noxsim power  [--rate MBPS]
 //! noxsim gen    --out FILE [--pattern P] [--rate MBPS] [--duration NS] [--len N] [--seed N]
 //! noxsim replay --trace FILE [--arch A] [--cmesh]
+//! noxsim verify [--quick]
 //! noxsim info
 //! ```
 
@@ -42,6 +43,7 @@ fn main() -> ExitCode {
         "power" => cmd_power(&opts),
         "gen" => cmd_gen(&opts),
         "replay" => cmd_replay(&opts),
+        "verify" => cmd_verify(&opts),
         "info" => cmd_info(),
         "help" | "--help" | "-h" => {
             usage();
@@ -68,6 +70,7 @@ fn usage() {
            power   Figure 12-style power breakdown at one rate\n\
            gen     generate a trace file\n\
            replay  run a trace file through a network\n\
+           verify  model-check the protocol invariants + sanitized sim sweep\n\
            info    clock periods, area, configuration summary\n\
          \n\
          common flags: --arch all|nonspec|fast|acc|nox   --cmesh   --csv\n\
@@ -85,7 +88,7 @@ fn parse_opts(rest: &[String]) -> Result<Opts, String> {
             return Err(format!("expected a --flag, got {flag:?}"));
         };
         // Boolean flags take no value.
-        if matches!(name, "csv" | "cmesh") {
+        if matches!(name, "csv" | "cmesh" | "quick") {
             opts.insert(name.to_string(), "true".into());
             continue;
         }
@@ -314,6 +317,110 @@ fn cmd_replay(opts: &Opts) -> Result<(), String> {
         ]);
     }
     emit(opts, &t);
+    Ok(())
+}
+
+fn cmd_verify(opts: &Opts) -> Result<(), String> {
+    use nox::verify::{check, mutation_smoke, scenarios, Bounds};
+
+    let bounds = if opts.contains_key("quick") {
+        Bounds::quick()
+    } else {
+        Bounds::full()
+    };
+    println!(
+        "== bounded model check: {} scenarios (<= {} inputs, <= {} flits, depths {:?}) ==",
+        scenarios(&bounds).len(),
+        bounds.max_inputs,
+        bounds.max_total_flits,
+        bounds.depths
+    );
+    let report = check(&bounds);
+    println!(
+        "explored {} states across {} scenarios; exhausted: {}",
+        report.states, report.scenarios, report.exhausted
+    );
+    for v in &report.violations {
+        println!("VIOLATION {v}");
+    }
+    if !report.exhausted {
+        return Err("state budget exhausted before closing the reachable space".into());
+    }
+    if !report.violations.is_empty() {
+        return Err(format!(
+            "{} protocol violation(s) found",
+            report.violations.len()
+        ));
+    }
+    println!("no violations: the protocol invariants hold over the bounded space\n");
+
+    println!("== mutation smoke: each disabled rule must be caught ==");
+    let mut missed = 0;
+    for m in mutation_smoke(&bounds) {
+        match &m.caught {
+            Some(v) => println!(
+                "caught  {:<24} ({}) as {} after {} states",
+                m.mutation.name(),
+                m.mutation.description(),
+                v.kind.name(),
+                m.states
+            ),
+            None => {
+                missed += 1;
+                println!(
+                    "MISSED  {:<24} ({})",
+                    m.mutation.name(),
+                    m.mutation.description()
+                );
+            }
+        }
+    }
+    if missed > 0 {
+        return Err(format!("{missed} mutation(s) survived the checker"));
+    }
+    println!("all mutations caught: the invariants have teeth\n");
+
+    sanitized_smoke(opts)
+}
+
+#[cfg(feature = "sanitize")]
+fn sanitized_smoke(opts: &Opts) -> Result<(), String> {
+    use nox::sim::network::Network;
+
+    println!("== sanitized simulation smoke sweep ==");
+    let mesh = Mesh::new(4, 4);
+    let rates = if opts.contains_key("quick") {
+        vec![800.0]
+    } else {
+        vec![500.0, 2_000.0]
+    };
+    for arch in Arch::ALL {
+        for &rate in &rates {
+            let trace = generate(mesh, &SyntheticConfig::uniform(rate, 4_000.0));
+            let mut net = Network::new(NetConfig::small(arch), &trace, (0.0, f64::MAX));
+            net.enable_sanitizer();
+            if !net.run_to_quiescence(500_000) {
+                return Err(format!(
+                    "{} @ {rate:.0} MB/s/node failed to drain under the sanitizer",
+                    arch.name()
+                ));
+            }
+            let c = net.counters();
+            println!(
+                "ok  {:<16} @ {rate:>5.0} MB/s/node: {} flits, {} cycles, every audit clean",
+                arch.name(),
+                c.flits_ejected,
+                c.cycles
+            );
+        }
+    }
+    println!("sanitized sweep clean");
+    Ok(())
+}
+
+#[cfg(not(feature = "sanitize"))]
+fn sanitized_smoke(_opts: &Opts) -> Result<(), String> {
+    println!("sanitized sweep skipped: built without the `sanitize` feature");
     Ok(())
 }
 

@@ -13,6 +13,7 @@
 //! | [`traffic`] | synthetic patterns, self-similar Pareto sources, CMP coherence synthesizer |
 //! | [`power`] | channel, logical-effort timing (Table 2), event-energy (Fig 12), area (Fig 13) |
 //! | [`analysis`] | sweeps, saturation/crossover detection, application runs, tables |
+//! | [`verify`] | bounded model checker for the protocol invariants + mutation smoke |
 //!
 //! # Quickstart
 //!
@@ -46,6 +47,7 @@ pub use nox_core as core;
 pub use nox_power as power;
 pub use nox_sim as sim;
 pub use nox_traffic as traffic;
+pub use nox_verify as verify;
 
 /// The most commonly used types, importable with one line.
 pub mod prelude {

@@ -1,0 +1,185 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot fetch crates.io, so the `bench` crate
+//! links against this minimal harness instead: same macro and builder
+//! surface (`criterion_group!` / `criterion_main!`, `bench_function`,
+//! `benchmark_group` + `bench_with_input`), but measurement is a plain
+//! calibrated wall-clock loop printing mean ns/iteration — no warm-up
+//! statistics, outlier analysis, or HTML reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export for call sites that use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark harness handle passed to every target function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named family of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's loop is self-calibrating
+    /// and does not take discrete samples.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// Runs one parameterless benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// Ends the group (no-op; prints happen per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// An id carrying only the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Measures one closure; created by the harness, driven by `iter`.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, auto-scaling the iteration count until the measurement
+    /// window is long enough to trust (≥ ~20 ms or 10M iterations).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up (fills caches, triggers lazy init).
+        for _ in 0..3 {
+            std::hint::black_box(f());
+        }
+        let mut batch: u64 = 1;
+        let mut total_iters: u64 = 0;
+        let mut total_time = Duration::ZERO;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            total_time += start.elapsed();
+            total_iters += batch;
+            if total_time >= Duration::from_millis(20) || total_iters >= 10_000_000 {
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+        self.iters = total_iters;
+        self.elapsed = total_time;
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("bench {name:<40} (no measurement)");
+            return;
+        }
+        let ns = self.elapsed.as_nanos() as f64 / self.iters as f64;
+        println!("bench {name:<40} {ns:>12.1} ns/iter ({} iters)", self.iters);
+    }
+}
+
+/// Declares a benchmark group function calling each target with a shared
+/// [`Criterion`] handle.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::from_parameter("x"), &3u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("nox").0, "nox");
+    }
+}

@@ -1,0 +1,84 @@
+//! Offline stand-in for the `rand_distr` crate.
+//!
+//! Provides exactly what the traffic generators use: the [`Distribution`]
+//! trait and the exponential distribution [`Exp`], sampled by inverse
+//! transform. See the `rand` shim for why this exists.
+
+use rand::Rng;
+
+/// Types that can sample values of `T` from an [`Rng`].
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned by [`Exp::new`] for a non-positive or non-finite rate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExpError;
+
+impl core::fmt::Display for ExpError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "exponential distribution rate must be positive and finite"
+        )
+    }
+}
+
+impl std::error::Error for ExpError {}
+
+/// The exponential distribution `Exp(λ)` with mean `1/λ`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exp {
+    rate: f64,
+}
+
+impl Exp {
+    /// Creates the distribution, rejecting `rate <= 0` and non-finite rates.
+    pub fn new(rate: f64) -> Result<Self, ExpError> {
+        if rate > 0.0 && rate.is_finite() {
+            Ok(Exp { rate })
+        } else {
+            Err(ExpError)
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse transform: u uniform in (0, 1), -ln(1 - u) / λ.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        -(1.0 - u).ln() / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_rates() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(-1.0).is_err());
+        assert!(Exp::new(f64::INFINITY).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+        assert!(Exp::new(2.5).is_ok());
+    }
+
+    #[test]
+    fn samples_are_positive_with_roughly_correct_mean() {
+        let exp = Exp::new(0.5).unwrap(); // mean 2.0
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = exp.sample(&mut rng);
+            assert!(x >= 0.0 && x.is_finite());
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((1.8..2.2).contains(&mean), "mean {mean}");
+    }
+}
