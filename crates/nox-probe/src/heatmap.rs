@@ -1,0 +1,125 @@
+//! Per-router heatmap rendering.
+//!
+//! Renders the probe's whole-run per-router metrics as text grids laid
+//! out like the mesh itself (row 0 at the top): link utilization shows
+//! which links saturate first, buffer occupancy shows where queueing
+//! builds — the spatial view the paper's network-global counters cannot
+//! give.
+
+use std::fmt::Write as _;
+
+use nox_sim::probe::Probe;
+use nox_sim::topology::{Coord, NodeId};
+
+/// One labelled grid of per-router values.
+fn grid(probe: &Probe, title: &str, value: impl Fn(NodeId) -> f64, unit: &str) -> String {
+    let mesh = probe.topology().grid();
+    let mut out = String::new();
+    let _ = writeln!(out, "{title} ({unit})");
+    // Column header.
+    let _ = write!(out, "      ");
+    for x in 0..mesh.width() {
+        let _ = write!(out, " x={x:<4}");
+    }
+    let _ = writeln!(out);
+    for y in 0..mesh.height() {
+        let _ = write!(out, "  y={y:<2}");
+        for x in 0..mesh.width() {
+            let n = mesh.node(Coord { x, y });
+            let _ = write!(out, " {:>5.1}", value(n));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Maximum output-link utilization per router, in percent of cycles.
+pub fn utilization_grid(probe: &Probe) -> String {
+    grid(
+        probe,
+        "link utilization, max over a router's outputs",
+        |n| probe.max_link_utilization(n) * 100.0,
+        "% of cycles",
+    )
+}
+
+/// Mean total input-buffer occupancy per router, in flits.
+pub fn occupancy_grid(probe: &Probe) -> String {
+    grid(
+        probe,
+        "mean input-buffer occupancy",
+        |n| probe.avg_occupancy(n),
+        "flits, summed over a router's inputs",
+    )
+}
+
+/// Renders both grids plus a saturation note.
+pub fn render(probe: &Probe) -> String {
+    let mut out = String::new();
+    out.push_str(&utilization_grid(probe));
+    out.push('\n');
+    out.push_str(&occupancy_grid(probe));
+    out.push('\n');
+    match probe.saturation_onset_cycle() {
+        Some(c) => {
+            let _ = writeln!(
+                out,
+                "saturation onset: first window with a link at >= {:.0}% utilization starts at cycle {c}",
+                nox_sim::probe::SATURATION_UTIL * 100.0
+            );
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "saturation onset: none (no link reached {:.0}% utilization in any window)",
+                nox_sim::probe::SATURATION_UTIL * 100.0
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probed_run;
+    use nox_sim::config::{Arch, NetConfig};
+    use nox_sim::probe::ProbeConfig;
+    use nox_sim::sim::RunSpec;
+    use nox_sim::trace::{PacketEvent, Trace};
+
+    #[test]
+    fn grids_have_mesh_shape_and_show_hotspot() {
+        // Everyone floods node 5: its router must stand out in both grids.
+        let mut t = Trace::new();
+        for i in 0..300u32 {
+            for src in 0..16u16 {
+                if src != 5 {
+                    t.push(PacketEvent {
+                        time_ns: i as f64 * 2.0,
+                        src: NodeId(src),
+                        dest: NodeId(5),
+                        len: 1,
+                    });
+                }
+            }
+        }
+        let run = probed_run(
+            NetConfig::small(Arch::Nox),
+            &t,
+            &RunSpec::quick(),
+            ProbeConfig::default(),
+        );
+        let text = render(&run.probe);
+        // 4x4 mesh: 4 row labels per grid, 2 grids.
+        assert_eq!(text.matches("y=0").count(), 2, "{text}");
+        assert_eq!(text.matches("y=3").count(), 2, "{text}");
+        assert!(text.contains("x=3"), "{text}");
+        assert!(text.contains("saturation onset"), "{text}");
+        // The hotspot's ejection link runs hot.
+        assert!(
+            run.probe.max_link_utilization(NodeId(5)) > 0.5,
+            "hotspot not hot: {text}"
+        );
+    }
+}

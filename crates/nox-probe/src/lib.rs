@@ -1,0 +1,231 @@
+//! Telemetry analysis and export for probed NoX simulations.
+//!
+//! The `nox-sim` crate's `probe` feature threads an observer — the
+//! [`Probe`] — through the simulator's hot loops; this crate turns what it
+//! collects into artifacts:
+//!
+//! * [`report::run_report`] — a machine-readable JSON run report with
+//!   per-router link utilization, NoX FSM occupancy, encoded-chain
+//!   histograms, windowed saturation telemetry, per-packet latency
+//!   decomposition percentiles, and simulator self-profiling;
+//! * [`chrome::chrome_trace`] — the event ring buffer as Chrome
+//!   trace-event JSON (load it in `chrome://tracing` or Perfetto);
+//! * [`waveform::waveform`] — the same events as the textual waveform
+//!   format of the paper's Figure 2/3/7 timing diagrams, for any router
+//!   of any run;
+//! * [`heatmap::render`] — per-router utilization/occupancy grids.
+//!
+//! The entry point is [`probed_run`], a drop-in variant of
+//! [`nox_sim::sim::run`] that attaches a probe and times each phase:
+//!
+//! ```
+//! use nox_probe::probed_run;
+//! use nox_sim::config::{Arch, NetConfig};
+//! use nox_sim::probe::ProbeConfig;
+//! use nox_sim::sim::RunSpec;
+//! use nox_sim::topology::NodeId;
+//! use nox_sim::trace::{PacketEvent, Trace};
+//!
+//! let mut trace = Trace::new();
+//! for i in 0..50u32 {
+//!     trace.push(PacketEvent {
+//!         time_ns: i as f64 * 10.0,
+//!         src: NodeId(0),
+//!         dest: NodeId(15),
+//!         len: 1,
+//!     });
+//! }
+//! let run = probed_run(
+//!     NetConfig::small(Arch::Nox),
+//!     &trace,
+//!     &RunSpec::quick(),
+//!     ProbeConfig::default(),
+//! );
+//! assert!(run.result.drained);
+//! let report = nox_probe::report::run_report(&run);
+//! assert!(report.to_string().contains("\"routers\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod heatmap;
+pub mod json;
+pub mod profile;
+pub mod report;
+pub mod waveform;
+
+use std::time::Instant;
+
+use nox_sim::config::NetConfig;
+use nox_sim::network::Network;
+use nox_sim::probe::{Probe, ProbeConfig};
+use nox_sim::sim::{RunSpec, SimResult};
+use nox_sim::stats::Counters;
+use nox_sim::trace::Trace;
+
+pub use json::Json;
+pub use profile::SelfProfile;
+
+/// The outcome of one probed simulation run: the ordinary measurement
+/// result, the telemetry collector (windows already flushed), and the
+/// wall-clock profile.
+#[derive(Clone, Debug)]
+pub struct ProbedRun {
+    /// The standard measurement-harness result.
+    pub result: SimResult,
+    /// The probe, with [`Probe::finish`] already called.
+    pub probe: Probe,
+    /// Wall-clock timing of the run's phases.
+    pub profile: SelfProfile,
+}
+
+/// Runs `trace` through a probed network: identical warmup / measurement
+/// window / drain structure to [`nox_sim::sim::run`], with a [`Probe`]
+/// attached from cycle zero and per-phase wall-clock timing.
+pub fn probed_run(
+    cfg: NetConfig,
+    trace: &Trace,
+    spec: &RunSpec,
+    probe_cfg: ProbeConfig,
+) -> ProbedRun {
+    let window = (spec.warmup_ns, spec.warmup_ns + spec.measure_ns);
+    let mut net = Network::new(cfg, trace, window);
+    net.enable_probe(probe_cfg);
+    let clock = cfg.clock_ns();
+
+    let warmup_cycles = (spec.warmup_ns / clock).ceil() as u64;
+    let window_cycles = (spec.measure_ns / clock).ceil() as u64;
+    let drain_cycles = (spec.drain_ns / clock).ceil() as u64;
+
+    let t0 = Instant::now();
+    net.run(warmup_cycles);
+    let t1 = Instant::now();
+    let at_open = *net.counters();
+    net.run(window_cycles);
+    let t2 = Instant::now();
+    let at_close = *net.counters();
+
+    let mut remaining = drain_cycles;
+    while remaining > 0 && net.measured_ejected() < net.measured_total() {
+        net.step();
+        remaining -= 1;
+    }
+    let t3 = Instant::now();
+
+    let result = SimResult {
+        cfg,
+        cycles: net.cycle(),
+        window_counters: delta(&at_open, &at_close),
+        latency_ns: *net.latency_measured_ns(),
+        latency_hist: net.latency_histogram_ns().clone(),
+        measured_total: net.measured_total(),
+        measured_ejected: net.measured_ejected(),
+        window_ns: window_cycles as f64 * clock,
+        drained: net.measured_ejected() == net.measured_total(),
+    };
+    let profile = SelfProfile {
+        warmup: t1 - t0,
+        measure: t2 - t1,
+        drain: t3 - t2,
+        cycles: net.cycle(),
+    };
+    let mut probe = net.take_probe().expect("probe was attached above");
+    probe.finish();
+
+    ProbedRun {
+        result,
+        probe,
+        profile,
+    }
+}
+
+fn delta(open: &Counters, close: &Counters) -> Counters {
+    let mut d = Counters::new();
+    macro_rules! sub {
+        ($($f:ident),+ $(,)?) => { $( d.$f = close.$f - open.$f; )+ };
+    }
+    sub!(
+        cycles,
+        link_flits,
+        link_wasted,
+        xbar_traversals,
+        xbar_inputs_active,
+        buffer_writes,
+        buffer_reads,
+        arbitrations,
+        decode_xors,
+        decode_reg_writes,
+        collisions,
+        aborts,
+        encoded_transfers,
+        wasted_reservations,
+        flits_injected,
+        flits_ejected,
+        packets_injected,
+        packets_ejected,
+    );
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nox_sim::config::Arch;
+    use nox_sim::topology::NodeId;
+    use nox_sim::trace::PacketEvent;
+
+    fn light_trace() -> Trace {
+        let mut t = Trace::new();
+        for i in 0..200u32 {
+            t.push(PacketEvent {
+                time_ns: i as f64 * 5.0,
+                src: NodeId((i % 16) as u16),
+                dest: NodeId(((i * 7 + 3) % 16) as u16),
+                len: 1 + (i % 3) as u16,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn probed_run_matches_plain_run() {
+        // Observation must not perturb the simulation: the measurement
+        // results of a probed run and a plain run are identical.
+        for arch in Arch::ALL {
+            let spec = RunSpec::quick();
+            let plain = nox_sim::sim::run(NetConfig::small(arch), &light_trace(), &spec);
+            let probed = probed_run(
+                NetConfig::small(arch),
+                &light_trace(),
+                &spec,
+                ProbeConfig::default(),
+            );
+            assert_eq!(probed.result.cycles, plain.cycles, "{arch}");
+            assert_eq!(
+                probed.result.window_counters, plain.window_counters,
+                "{arch}"
+            );
+            assert_eq!(
+                probed.result.latency_ns.mean(),
+                plain.latency_ns.mean(),
+                "{arch}"
+            );
+            assert_eq!(probed.result.drained, plain.drained, "{arch}");
+        }
+    }
+
+    #[test]
+    fn profile_covers_all_cycles() {
+        let run = probed_run(
+            NetConfig::small(Arch::Nox),
+            &light_trace(),
+            &RunSpec::quick(),
+            ProbeConfig::default(),
+        );
+        assert_eq!(run.profile.cycles, run.result.cycles);
+        assert_eq!(run.probe.cycles_observed(), run.result.cycles);
+        assert!(run.profile.cycles_per_sec() > 0.0);
+    }
+}

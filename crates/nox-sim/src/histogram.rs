@@ -35,6 +35,7 @@ pub struct LogHistogram {
     log_ratio: f64,
     counts: Vec<u64>,
     underflow: u64,
+    overflow: u64,
     total: u64,
 }
 
@@ -55,6 +56,7 @@ impl LogHistogram {
             log_ratio: ratio.ln(),
             counts: vec![0; buckets],
             underflow: 0,
+            overflow: 0,
             total: 0,
         }
     }
@@ -67,7 +69,9 @@ impl LogHistogram {
     }
 
     /// Records one sample. Samples below the minimum are counted in an
-    /// underflow bucket; samples beyond the top land in the last bucket.
+    /// explicit underflow bucket; samples at or beyond the top edge are
+    /// counted in an explicit overflow bucket, so out-of-range mass is
+    /// auditable rather than silently folded into the extreme buckets.
     pub fn record(&mut self, x: f64) {
         self.total += 1;
         // NaN and sub-minimum samples both land in the underflow bucket.
@@ -78,13 +82,33 @@ impl LogHistogram {
             return;
         }
         let idx = ((x / self.min_value).ln() / self.log_ratio) as usize;
-        let idx = idx.min(self.counts.len() - 1);
-        self.counts[idx] += 1;
+        if idx >= self.counts.len() {
+            self.overflow += 1;
+        } else {
+            self.counts[idx] += 1;
+        }
     }
 
     /// Number of samples recorded.
     pub fn count(&self) -> u64 {
         self.total
+    }
+
+    /// Samples that fell below the minimum value (plus NaNs).
+    pub fn underflow_count(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples that fell at or beyond the histogram's top edge
+    /// (`min_value * ratio^buckets`).
+    pub fn overflow_count(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The histogram's top edge: samples at or above this value are
+    /// counted as overflow.
+    pub fn max_value(&self) -> f64 {
+        self.min_value * self.ratio.powf(self.counts.len() as f64)
     }
 
     /// The value at the given percentile (0 < p <= 100), or 0 for an
@@ -111,8 +135,9 @@ impl LogHistogram {
                 return self.min_value * self.ratio.powf(i as f64 + 0.5);
             }
         }
-        // All remaining mass in the overflow tail of the last bucket.
-        self.min_value * self.ratio.powf(self.counts.len() as f64)
+        // The remaining mass is in the explicit overflow bucket: report the
+        // top edge (the tightest lower bound the histogram can give).
+        self.max_value()
     }
 
     /// Merges another histogram with identical configuration.
@@ -132,6 +157,7 @@ impl LogHistogram {
             *a += b;
         }
         self.underflow += other.underflow;
+        self.overflow += other.overflow;
         self.total += other.total;
     }
 }
@@ -173,10 +199,52 @@ mod tests {
     fn underflow_and_overflow_are_absorbed() {
         let mut h = LogHistogram::new(1.0, 2.0, 4); // covers 1..16
         h.record(0.01); // underflow
-        h.record(1e9); // overflow -> last bucket
+        h.record(1e9); // overflow bucket
         assert_eq!(h.count(), 2);
+        assert_eq!(h.underflow_count(), 1);
+        assert_eq!(h.overflow_count(), 1);
         assert_eq!(h.percentile(25.0), 1.0, "underflow clamps to min");
-        assert!(h.percentile(100.0) >= 8.0);
+        assert_eq!(h.percentile(100.0), h.max_value(), "overflow reports edge");
+    }
+
+    #[test]
+    fn overflow_bucket_is_explicit() {
+        let mut h = LogHistogram::new(1.0, 2.0, 4); // buckets cover [1, 16)
+        h.record(15.9); // top in-range bucket
+        h.record(16.0); // exactly the top edge -> overflow
+        h.record(1e6); // far beyond -> overflow
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.overflow_count(), 2);
+        assert_eq!(h.underflow_count(), 0);
+        assert_eq!(h.max_value(), 16.0);
+        // The in-range sample sits in bucket [8, 16); overflow mass answers
+        // the tail percentiles with the top edge.
+        assert!(h.percentile(33.0) < 16.0);
+        assert_eq!(h.percentile(100.0), 16.0);
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_are_zero_everywhere() {
+        let h = LogHistogram::default_latency();
+        for p in [0.1, 25.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 0.0);
+        }
+        assert_eq!(h.underflow_count(), 0);
+        assert_eq!(h.overflow_count(), 0);
+    }
+
+    #[test]
+    fn merge_carries_under_and_overflow() {
+        let mut a = LogHistogram::new(1.0, 2.0, 4);
+        let mut b = LogHistogram::new(1.0, 2.0, 4);
+        a.record(0.5); // underflow
+        a.record(3.0);
+        b.record(100.0); // overflow
+        b.record(0.2); // underflow
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.underflow_count(), 2);
+        assert_eq!(a.overflow_count(), 1);
     }
 
     #[test]

@@ -49,6 +49,8 @@ pub mod config;
 pub mod flit;
 pub mod histogram;
 pub mod network;
+#[cfg(feature = "probe")]
+pub mod probe;
 pub mod router;
 pub mod routing;
 #[cfg(feature = "sanitize")]

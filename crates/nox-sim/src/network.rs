@@ -56,6 +56,9 @@ pub struct Network {
     /// Runtime switch for the per-cycle sanitizer audits.
     #[cfg(feature = "sanitize")]
     sanitize: bool,
+    /// Telemetry collector, if probing is enabled.
+    #[cfg(feature = "probe")]
+    probe: Option<Box<crate::probe::Probe>>,
 }
 
 impl Network {
@@ -124,6 +127,8 @@ impl Network {
             eject_log: None,
             #[cfg(feature = "sanitize")]
             sanitize: false,
+            #[cfg(feature = "probe")]
+            probe: None,
         }
     }
 
@@ -134,6 +139,32 @@ impl Network {
     #[cfg(feature = "sanitize")]
     pub fn enable_sanitizer(&mut self) {
         self.sanitize = true;
+    }
+
+    /// Attaches a telemetry [`Probe`](crate::probe::Probe): every
+    /// subsequent cycle is observed — per-router windowed metrics, the
+    /// bounded event trace, and per-packet latency decomposition. Call
+    /// [`Probe::finish`](crate::probe::Probe::finish) on the collector
+    /// after the run to flush the final partial window.
+    #[cfg(feature = "probe")]
+    pub fn enable_probe(&mut self, cfg: crate::probe::ProbeConfig) {
+        self.probe = Some(Box::new(crate::probe::Probe::new(
+            cfg,
+            self.topo,
+            self.cfg.clock_ns(),
+        )));
+    }
+
+    /// The attached probe, if any.
+    #[cfg(feature = "probe")]
+    pub fn probe(&self) -> Option<&crate::probe::Probe> {
+        self.probe.as_deref()
+    }
+
+    /// Detaches and returns the probe, ending observation.
+    #[cfg(feature = "probe")]
+    pub fn take_probe(&mut self) -> Option<crate::probe::Probe> {
+        self.probe.take().map(|b| *b)
     }
 
     /// Enables recording of `(packet, eject cycle)` pairs — useful for
@@ -233,6 +264,11 @@ impl Network {
     pub fn step(&mut self) {
         self.counters.cycles += 1;
 
+        #[cfg(feature = "probe")]
+        if let Some(p) = &mut self.probe {
+            p.on_cycle_start(self.cycle);
+        }
+
         // 1a. Deliver last cycle's link words.
         let deliveries = std::mem::take(&mut self.in_flight);
         for s in deliveries {
@@ -264,24 +300,34 @@ impl Network {
         for (i, src) in self.sources.iter_mut().enumerate() {
             let core = NodeId(i as u16);
             let router = self.topo.router_of(core).index();
-            src.inject(
+            let injected = src.inject(
                 self.cycle,
                 self.routers[router].input_mut(self.topo.local_port(core)),
                 &self.packets,
                 &mut self.counters,
             );
+            #[cfg(feature = "probe")]
+            if let (Some(p), Some(key)) = (&mut self.probe, injected) {
+                p.on_inject(self.cycle, core, key);
+            }
+            #[cfg(not(feature = "probe"))]
+            let _ = injected;
         }
 
         // 3. Routers tick.
         let mut sends = Vec::new();
         let mut credit_returns: Vec<CreditReturn> = Vec::new();
         {
-            let mut ctx = TickCtx {
-                packets: &self.packets,
-                counters: &mut self.counters,
-                sends: &mut sends,
-                credits: &mut credit_returns,
-            };
+            let mut ctx = TickCtx::new(
+                &self.packets,
+                &mut self.counters,
+                &mut sends,
+                &mut credit_returns,
+            );
+            #[cfg(feature = "probe")]
+            {
+                ctx.probe = self.probe.as_deref_mut();
+            }
             for r in &mut self.routers {
                 r.tick(&mut ctx);
             }
@@ -300,6 +346,14 @@ impl Network {
                     input: self.topo.local_port(core),
                 });
             }
+            #[cfg(feature = "probe")]
+            if outcome.credit_freed && outcome.consumed.is_none() {
+                // A decode-register latch at the sink (§2.4 at ejection).
+                if let Some(p) = &mut self.probe {
+                    let core = NodeId(i as u16);
+                    p.on_latch(core, self.topo.local_port(core));
+                }
+            }
             if let Some(info) = outcome.consumed {
                 let expected = self.expected_seq.entry(info.packet).or_insert(0);
                 assert_eq!(
@@ -315,6 +369,15 @@ impl Network {
                         log.push((info.packet, self.cycle + 1));
                     }
                     let meta = self.packets.meta(info.packet);
+                    #[cfg(feature = "probe")]
+                    if let Some(p) = &mut self.probe {
+                        p.on_eject(
+                            self.cycle + 1,
+                            NodeId(i as u16),
+                            info.packet,
+                            meta.created_cycle,
+                        );
+                    }
                     let latency_ns = (self.cycle + 1 - meta.created_cycle) as f64 * clock_ns;
                     self.latency_all.record(latency_ns);
                     if meta.measured {
@@ -348,6 +411,13 @@ impl Network {
             };
             self.credits_in_flight
                 .push_back((self.cycle + self.cfg.credit_delay, owner, port.0));
+        }
+
+        // End-of-cycle telemetry: this cycle's launched words, buffer
+        // occupancies, and FSM modes.
+        #[cfg(feature = "probe")]
+        if let Some(p) = &mut self.probe {
+            p.on_cycle_end(self.cycle, &self.in_flight, &self.routers, &self.sinks);
         }
 
         self.cycle += 1;

@@ -1,0 +1,767 @@
+//! `nox-probe` telemetry hooks: per-router metrics, event traces, and
+//! latency decomposition — zero-cost unless the `probe` feature is on.
+//!
+//! The paper instruments its simulator "with necessary event counters to
+//! form an accurate power model" (§4), but [`Counters`](crate::stats::Counters)
+//! is network-global: it can reproduce Figure 12 yet cannot show *where*
+//! contention lives. The [`Probe`] closes that gap with three layers:
+//!
+//! 1. **Per-router / per-link time-windowed metrics** — link utilization,
+//!    input-buffer occupancy, encoded-chain-length histograms, per-output
+//!    NoX FSM mode occupancy (Recovery / Scheduled / Stream), collision and
+//!    abort counts — accumulated per fixed-size cycle window with
+//!    saturation-onset detection.
+//! 2. **Cycle-level event traces** — a bounded ring buffer of injection,
+//!    link-word, wasted-cycle, decode-latch, and ejection events, which
+//!    the `nox-probe` crate exports as Chrome trace-event JSON or as the
+//!    textual waveforms used for the paper's Figure 2/3/7 diagrams.
+//! 3. **Per-packet latency decomposition** — source-queueing time versus
+//!    in-network time, each with streaming moments and a log-bucketed
+//!    histogram for percentile queries.
+//!
+//! Like the `sanitize` feature, everything here compiles away entirely
+//! when the feature is disabled: the hook methods on
+//! [`TickCtx`](crate::router::TickCtx) become empty `#[inline(always)]`
+//! bodies and [`Network`](crate::network::Network) carries no extra state.
+//! With the feature enabled but no probe attached, each hook is a single
+//! `Option` test on a cold branch.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use nox_core::{Mode, PortId};
+
+use crate::flit::{FlitKey, PacketId};
+use crate::histogram::LogHistogram;
+use crate::router::{Router, Send};
+use crate::sink::Sink;
+use crate::stats::LatencyStats;
+use crate::topology::{NodeId, Topology};
+
+/// A link is considered saturated within a window when its busy fraction
+/// (productive plus wasted words per cycle) reaches this level.
+pub const SATURATION_UTIL: f64 = 0.95;
+
+/// Static configuration of one [`Probe`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbeConfig {
+    /// Length of one metrics window in cycles.
+    pub window_cycles: u64,
+    /// Capacity of the event ring buffer; the oldest events are dropped
+    /// once it fills ([`Probe::events_dropped`] counts them).
+    pub ring_capacity: usize,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        ProbeConfig {
+            window_cycles: 1_024,
+            ring_capacity: 65_536,
+        }
+    }
+}
+
+/// What happened in one traced event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A packet's head flit entered the network at its source.
+    Inject {
+        /// The injected packet.
+        packet: PacketId,
+    },
+    /// A (possibly encoded) word was launched onto a link.
+    Send {
+        /// Constituent flit keys of the word ([`FlitKey::pack`] format).
+        keys: Vec<u64>,
+        /// `true` when the word superposes more than one flit.
+        encoded: bool,
+    },
+    /// A link cycle was driven with an invalid word (NoX abort or
+    /// speculative collision): full channel energy, nothing delivered.
+    Wasted {
+        /// Number of inputs that drove the switch.
+        colliding: u8,
+        /// `true` for a NoX multi-flit abort, `false` for a speculative
+        /// collision.
+        abort: bool,
+    },
+    /// An encoded word was latched into a decode register (router input
+    /// or sink).
+    Latch,
+    /// A packet's tail flit was consumed at its destination.
+    Eject {
+        /// The completed packet.
+        packet: PacketId,
+    },
+}
+
+/// One entry of the cycle-level event trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle the event occurred in.
+    pub cycle: u64,
+    /// Router (for link/latch events) or core (for inject/eject events).
+    pub node: NodeId,
+    /// Output port for `Send`/`Wasted`, input port for `Latch`, the local
+    /// port for `Inject`/`Eject`.
+    pub port: PortId,
+    /// The event payload.
+    pub kind: EventKind,
+}
+
+/// Accumulated activity of one router (whole-run totals or one window).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RouterMetrics {
+    /// Productive words launched per output port.
+    pub link_busy: Vec<u64>,
+    /// Invalid words driven per output port (aborts/collisions).
+    pub link_wasted: Vec<u64>,
+    /// Per-output NoX FSM mode occupancy, sampled once per cycle:
+    /// `[Recovery, Scheduled, Stream]` cycle counts. All zero for
+    /// non-NoX routers.
+    pub mode_cycles: Vec<[u64; 3]>,
+    /// Sum over sampled cycles of total input-buffer occupancy (flits).
+    pub occupancy_sum: u64,
+    /// Speculative collision cycles charged to this router.
+    pub collisions: u64,
+    /// NoX multi-flit abort cycles charged to this router.
+    pub aborts: u64,
+    /// Productive encoded words launched by this router.
+    pub encoded: u64,
+    /// Histogram of encoded-word sizes: `chain_hist[k]` counts encoded
+    /// words superposing exactly `k` flits (`k >= 2`).
+    pub chain_hist: Vec<u64>,
+}
+
+impl RouterMetrics {
+    fn new(ports: usize) -> Self {
+        RouterMetrics {
+            link_busy: vec![0; ports],
+            link_wasted: vec![0; ports],
+            mode_cycles: vec![[0; 3]; ports],
+            occupancy_sum: 0,
+            collisions: 0,
+            aborts: 0,
+            encoded: 0,
+            chain_hist: vec![0; ports + 1],
+        }
+    }
+
+    fn reset(&mut self) {
+        self.link_busy.iter_mut().for_each(|c| *c = 0);
+        self.link_wasted.iter_mut().for_each(|c| *c = 0);
+        self.mode_cycles.iter_mut().for_each(|m| *m = [0; 3]);
+        self.occupancy_sum = 0;
+        self.collisions = 0;
+        self.aborts = 0;
+        self.encoded = 0;
+        self.chain_hist.iter_mut().for_each(|c| *c = 0);
+    }
+
+    /// Total words (productive + wasted) this router drove on `port`.
+    pub fn link_transitions(&self, port: PortId) -> u64 {
+        self.link_busy[port.index()] + self.link_wasted[port.index()]
+    }
+}
+
+/// Aggregated telemetry for one completed metrics window.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WindowSummary {
+    /// First cycle of the window.
+    pub start_cycle: u64,
+    /// Window length in cycles (the last window of a run may be short).
+    pub cycles: u64,
+    /// Highest per-link utilization observed in the window.
+    pub max_link_util: f64,
+    /// Mean utilization across all connected links.
+    pub mean_link_util: f64,
+    /// Links whose utilization reached [`SATURATION_UTIL`].
+    pub saturated_links: usize,
+    /// Mean input-buffer occupancy per router, in flits.
+    pub avg_occupancy: f64,
+    /// Speculative collision cycles in the window.
+    pub collisions: u64,
+    /// NoX abort cycles in the window.
+    pub aborts: u64,
+    /// Productive encoded transfers in the window.
+    pub encoded: u64,
+}
+
+/// Per-packet latency decomposition: where the nanoseconds went.
+#[derive(Clone, Debug)]
+pub struct LatencyBreakdown {
+    /// Creation-to-ejection latency (what the paper's figures report).
+    pub total: LatencyStats,
+    /// Histogram of total latency for percentile queries, in ns.
+    pub total_hist: LogHistogram,
+    /// Source-queueing component: creation to head-flit injection.
+    pub queue: LatencyStats,
+    /// Histogram of the queueing component, in ns.
+    pub queue_hist: LogHistogram,
+    /// In-network component: head-flit injection to tail ejection.
+    pub network: LatencyStats,
+    /// Histogram of the network component, in ns.
+    pub network_hist: LogHistogram,
+}
+
+impl Default for LatencyBreakdown {
+    fn default() -> Self {
+        LatencyBreakdown {
+            total: LatencyStats::new(),
+            total_hist: LogHistogram::default_latency(),
+            queue: LatencyStats::new(),
+            queue_hist: LogHistogram::default_latency(),
+            network: LatencyStats::new(),
+            network_hist: LogHistogram::default_latency(),
+        }
+    }
+}
+
+/// The telemetry collector attached to a
+/// [`Network`](crate::network::Network) via
+/// [`enable_probe`](crate::network::Network::enable_probe).
+#[derive(Clone, Debug)]
+pub struct Probe {
+    cfg: ProbeConfig,
+    topo: Topology,
+    clock_ns: f64,
+    cur_cycle: u64,
+    cycles_observed: u64,
+    window_start: u64,
+    window_cycles: u64,
+    totals: Vec<RouterMetrics>,
+    window: Vec<RouterMetrics>,
+    windows: Vec<WindowSummary>,
+    saturation_onset: Option<u64>,
+    events: VecDeque<TraceEvent>,
+    events_dropped: u64,
+    inject_cycle: HashMap<PacketId, u64>,
+    breakdown: LatencyBreakdown,
+    sink_occupancy_sum: u64,
+}
+
+impl Probe {
+    /// Creates a probe for a network of the given topology and clock.
+    pub fn new(cfg: ProbeConfig, topo: Topology, clock_ns: f64) -> Self {
+        assert!(cfg.window_cycles > 0, "window length must be non-zero");
+        let ports = topo.ports() as usize;
+        let routers = topo.routers();
+        Probe {
+            cfg,
+            topo,
+            clock_ns,
+            cur_cycle: 0,
+            cycles_observed: 0,
+            window_start: 0,
+            window_cycles: 0,
+            totals: (0..routers).map(|_| RouterMetrics::new(ports)).collect(),
+            window: (0..routers).map(|_| RouterMetrics::new(ports)).collect(),
+            windows: Vec::new(),
+            saturation_onset: None,
+            events: VecDeque::with_capacity(cfg.ring_capacity.min(4_096)),
+            events_dropped: 0,
+            inject_cycle: HashMap::new(),
+            breakdown: LatencyBreakdown::default(),
+            sink_occupancy_sum: 0,
+        }
+    }
+
+    // ------------------------------------------------------------ accessors
+
+    /// The probe's configuration.
+    pub fn config(&self) -> ProbeConfig {
+        self.cfg
+    }
+
+    /// The observed network's topology.
+    pub fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    /// The observed network's clock period in nanoseconds.
+    pub fn clock_ns(&self) -> f64 {
+        self.clock_ns
+    }
+
+    /// Cycles observed so far.
+    pub fn cycles_observed(&self) -> u64 {
+        self.cycles_observed
+    }
+
+    /// Whole-run totals, indexed by router.
+    pub fn totals(&self) -> &[RouterMetrics] {
+        &self.totals
+    }
+
+    /// Completed metrics windows, oldest first.
+    pub fn windows(&self) -> &[WindowSummary] {
+        &self.windows
+    }
+
+    /// Start cycle of the first window in which any link reached
+    /// [`SATURATION_UTIL`], if one has.
+    pub fn saturation_onset_cycle(&self) -> Option<u64> {
+        self.saturation_onset
+    }
+
+    /// The buffered event trace, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Events discarded because the ring buffer was full.
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped
+    }
+
+    /// The per-packet latency decomposition.
+    pub fn breakdown(&self) -> &LatencyBreakdown {
+        &self.breakdown
+    }
+
+    /// Mean input-buffer occupancy of one router over the observed run,
+    /// in flits (summed across its input ports).
+    pub fn avg_occupancy(&self, router: NodeId) -> f64 {
+        if self.cycles_observed == 0 {
+            return 0.0;
+        }
+        self.totals[router.index()].occupancy_sum as f64 / self.cycles_observed as f64
+    }
+
+    /// Mean ejection-buffer occupancy across all sinks, in flits.
+    pub fn avg_sink_occupancy(&self) -> f64 {
+        if self.cycles_observed == 0 {
+            return 0.0;
+        }
+        self.sink_occupancy_sum as f64 / (self.cycles_observed * self.topo.cores() as u64) as f64
+    }
+
+    /// Utilization of one router's output link over the observed run:
+    /// words driven (productive or not) per cycle.
+    pub fn link_utilization(&self, router: NodeId, out: PortId) -> f64 {
+        if self.cycles_observed == 0 {
+            return 0.0;
+        }
+        self.totals[router.index()].link_transitions(out) as f64 / self.cycles_observed as f64
+    }
+
+    /// Highest output-link utilization of one router over the observed
+    /// run (connected ports only).
+    pub fn max_link_utilization(&self, router: NodeId) -> f64 {
+        (0..self.topo.ports())
+            .filter(|&p| self.port_connected(router, PortId(p)))
+            .map(|p| self.link_utilization(router, PortId(p)))
+            .fold(0.0, f64::max)
+    }
+
+    /// Network-wide NoX FSM mode occupancy summed over all outputs:
+    /// `[Recovery, Scheduled, Stream]` cycle counts.
+    pub fn mode_occupancy(&self) -> [u64; 3] {
+        let mut acc = [0u64; 3];
+        for r in &self.totals {
+            for m in &r.mode_cycles {
+                for (a, b) in acc.iter_mut().zip(m) {
+                    *a += b;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Network-wide encoded-chain-length histogram (index = flits per
+    /// encoded word).
+    pub fn chain_histogram(&self) -> Vec<u64> {
+        let mut acc = vec![0u64; self.topo.ports() as usize + 1];
+        for r in &self.totals {
+            for (a, b) in acc.iter_mut().zip(&r.chain_hist) {
+                *a += b;
+            }
+        }
+        acc
+    }
+
+    fn port_connected(&self, router: NodeId, port: PortId) -> bool {
+        self.topo.is_local(port) || self.topo.link_dest(router, port).is_some()
+    }
+
+    // ---------------------------------------------------------------- hooks
+
+    fn push_event(&mut self, e: TraceEvent) {
+        if self.events.len() == self.cfg.ring_capacity {
+            self.events.pop_front();
+            self.events_dropped += 1;
+        }
+        self.events.push_back(e);
+    }
+
+    /// Marks the start of a network cycle; router-side hooks use this to
+    /// timestamp events.
+    pub(crate) fn on_cycle_start(&mut self, cycle: u64) {
+        self.cur_cycle = cycle;
+    }
+
+    /// A flit entered the network at `core`'s source.
+    pub(crate) fn on_inject(&mut self, cycle: u64, core: NodeId, key: FlitKey) {
+        if key.seq != 0 {
+            return;
+        }
+        self.inject_cycle.insert(key.packet, cycle);
+        self.push_event(TraceEvent {
+            cycle,
+            node: core,
+            port: self.topo.local_port(core),
+            kind: EventKind::Inject { packet: key.packet },
+        });
+    }
+
+    /// A packet's tail flit was consumed at its destination on `cycle`.
+    pub(crate) fn on_eject(&mut self, cycle: u64, core: NodeId, packet: PacketId, created: u64) {
+        self.push_event(TraceEvent {
+            cycle,
+            node: core,
+            port: self.topo.local_port(core),
+            kind: EventKind::Eject { packet },
+        });
+        let total_ns = cycle.saturating_sub(created) as f64 * self.clock_ns;
+        self.breakdown.total.record(total_ns);
+        self.breakdown.total_hist.record(total_ns);
+        if let Some(injected) = self.inject_cycle.remove(&packet) {
+            let queue_ns = injected.saturating_sub(created) as f64 * self.clock_ns;
+            let net_ns = cycle.saturating_sub(injected) as f64 * self.clock_ns;
+            self.breakdown.queue.record(queue_ns);
+            self.breakdown.queue_hist.record(queue_ns);
+            self.breakdown.network.record(net_ns);
+            self.breakdown.network_hist.record(net_ns);
+        }
+    }
+
+    /// A NoX output drove a productive encoded word of `chain_len` flits.
+    pub(crate) fn on_encoded(&mut self, node: NodeId, _out: PortId, chain_len: u8) {
+        let m = &mut self.window[node.index()];
+        m.encoded += 1;
+        let idx = (chain_len as usize).min(m.chain_hist.len() - 1);
+        m.chain_hist[idx] += 1;
+    }
+
+    /// An output drove an invalid word: a NoX abort or a speculative
+    /// collision.
+    pub(crate) fn on_wasted(&mut self, node: NodeId, out: PortId, colliding: u8, abort: bool) {
+        let m = &mut self.window[node.index()];
+        m.link_wasted[out.index()] += 1;
+        if abort {
+            m.aborts += 1;
+        } else {
+            m.collisions += 1;
+        }
+        self.push_event(TraceEvent {
+            cycle: self.cur_cycle,
+            node,
+            port: out,
+            kind: EventKind::Wasted { colliding, abort },
+        });
+    }
+
+    /// A router input (or sink) latched an encoded word into its decode
+    /// register.
+    pub(crate) fn on_latch(&mut self, node: NodeId, input: PortId) {
+        self.push_event(TraceEvent {
+            cycle: self.cur_cycle,
+            node,
+            port: input,
+            kind: EventKind::Latch,
+        });
+    }
+
+    /// End-of-cycle sampling: records this cycle's launched link words,
+    /// buffer occupancies, and NoX FSM modes, then rolls the metrics
+    /// window over if it filled.
+    pub(crate) fn on_cycle_end(
+        &mut self,
+        cycle: u64,
+        sends: &[Send],
+        routers: &[Router],
+        sinks: &[Sink],
+    ) {
+        if self.window_cycles == 0 {
+            self.window_start = cycle;
+        }
+        for s in sends {
+            self.window[s.node.index()].link_busy[s.out.index()] += 1;
+            let keys = s.word.keys().to_vec();
+            let encoded = keys.len() > 1;
+            self.push_event(TraceEvent {
+                cycle,
+                node: s.node,
+                port: s.out,
+                kind: EventKind::Send { keys, encoded },
+            });
+        }
+        for r in routers {
+            let m = &mut self.window[r.node().index()];
+            m.occupancy_sum += r.buffered_flits() as u64;
+            for p in 0..r.ports() {
+                if let Some(mode) = r.output_mode(PortId(p)) {
+                    let slot = match mode {
+                        Mode::Recovery => 0,
+                        Mode::Scheduled => 1,
+                        Mode::Stream => 2,
+                    };
+                    m.mode_cycles[p as usize][slot] += 1;
+                }
+            }
+        }
+        for s in sinks {
+            self.sink_occupancy_sum += s.occupancy() as u64;
+        }
+        self.cycles_observed += 1;
+        self.window_cycles += 1;
+        if self.window_cycles >= self.cfg.window_cycles {
+            self.roll_window();
+        }
+    }
+
+    /// Closes the current (possibly partial) window. Called automatically
+    /// when a window fills; call it once after a run to flush the tail.
+    pub fn finish(&mut self) {
+        if self.window_cycles > 0 {
+            self.roll_window();
+        }
+    }
+
+    fn roll_window(&mut self) {
+        let cycles = self.window_cycles;
+        let mut max_util = 0.0f64;
+        let mut util_sum = 0.0f64;
+        let mut links = 0usize;
+        let mut saturated = 0usize;
+        let mut occ_sum = 0u64;
+        let mut collisions = 0u64;
+        let mut aborts = 0u64;
+        let mut encoded = 0u64;
+        for (i, w) in self.window.iter().enumerate() {
+            let node = NodeId(i as u16);
+            for p in 0..self.topo.ports() {
+                let port = PortId(p);
+                if !self.port_connected(node, port) {
+                    continue;
+                }
+                let util = w.link_transitions(port) as f64 / cycles as f64;
+                max_util = max_util.max(util);
+                util_sum += util;
+                links += 1;
+                if util >= SATURATION_UTIL {
+                    saturated += 1;
+                }
+            }
+            occ_sum += w.occupancy_sum;
+            collisions += w.collisions;
+            aborts += w.aborts;
+            encoded += w.encoded;
+        }
+        let summary = WindowSummary {
+            start_cycle: self.window_start,
+            cycles,
+            max_link_util: max_util,
+            mean_link_util: if links == 0 {
+                0.0
+            } else {
+                util_sum / links as f64
+            },
+            saturated_links: saturated,
+            avg_occupancy: occ_sum as f64 / (cycles * self.topo.routers() as u64) as f64,
+            collisions,
+            aborts,
+            encoded,
+        };
+        if saturated > 0 && self.saturation_onset.is_none() {
+            self.saturation_onset = Some(self.window_start);
+        }
+        self.windows.push(summary);
+        // Fold the window into the run totals and reset it.
+        for (t, w) in self.totals.iter_mut().zip(self.window.iter_mut()) {
+            for (a, b) in t.link_busy.iter_mut().zip(&w.link_busy) {
+                *a += b;
+            }
+            for (a, b) in t.link_wasted.iter_mut().zip(&w.link_wasted) {
+                *a += b;
+            }
+            for (a, b) in t.mode_cycles.iter_mut().zip(&w.mode_cycles) {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+            }
+            t.occupancy_sum += w.occupancy_sum;
+            t.collisions += w.collisions;
+            t.aborts += w.aborts;
+            t.encoded += w.encoded;
+            for (a, b) in t.chain_hist.iter_mut().zip(&w.chain_hist) {
+                *a += b;
+            }
+            w.reset();
+        }
+        self.window_start += self.window_cycles;
+        self.window_cycles = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Arch, NetConfig};
+    use crate::network::Network;
+    use crate::trace::{PacketEvent, Trace};
+
+    fn contended_trace(n: usize) -> Trace {
+        // Two sources equidistant from a common destination sending
+        // simultaneous packets: their flits reach the merge router on the
+        // same cycle, guaranteeing collisions, but the spacing (4 ns >>
+        // clock) keeps every link far from saturation.
+        let mut t = Trace::new();
+        for i in 0..n {
+            for src in [6u16, 9] {
+                t.push(PacketEvent {
+                    time_ns: i as f64 * 4.0,
+                    src: NodeId(src),
+                    dest: NodeId(10),
+                    len: 1,
+                });
+            }
+        }
+        t
+    }
+
+    fn probed_net(arch: Arch) -> Network {
+        let mut net = Network::new(
+            NetConfig::small(arch),
+            &contended_trace(40),
+            (0.0, f64::MAX),
+        );
+        net.enable_probe(ProbeConfig {
+            window_cycles: 64,
+            ring_capacity: 4_096,
+        });
+        net
+    }
+
+    #[test]
+    fn probe_counts_match_global_counters() {
+        for arch in Arch::ALL {
+            let mut net = probed_net(arch);
+            assert!(net.run_to_quiescence(100_000), "{arch} failed to drain");
+            let c = *net.counters();
+            let mut probe = net.take_probe().expect("probe attached");
+            probe.finish();
+            let totals_busy: u64 = probe
+                .totals()
+                .iter()
+                .map(|r| r.link_busy.iter().sum::<u64>())
+                .sum();
+            let totals_wasted: u64 = probe
+                .totals()
+                .iter()
+                .map(|r| r.link_wasted.iter().sum::<u64>())
+                .sum();
+            assert_eq!(totals_busy, c.link_flits, "{arch} productive words");
+            assert_eq!(totals_wasted, c.link_wasted, "{arch} wasted words");
+            let encoded: u64 = probe.totals().iter().map(|r| r.encoded).sum();
+            assert_eq!(encoded, c.encoded_transfers, "{arch} encoded words");
+            let aborts: u64 = probe.totals().iter().map(|r| r.aborts).sum();
+            assert_eq!(aborts, c.aborts, "{arch} aborts");
+            let collisions: u64 = probe.totals().iter().map(|r| r.collisions).sum();
+            assert_eq!(collisions, c.collisions, "{arch} collisions");
+        }
+    }
+
+    #[test]
+    fn decomposition_components_sum_to_total() {
+        let mut net = probed_net(Arch::Nox);
+        assert!(net.run_to_quiescence(100_000));
+        let mut probe = net.take_probe().expect("probe attached");
+        probe.finish();
+        let b = probe.breakdown();
+        assert_eq!(b.total.count(), 80, "all packets decomposed");
+        assert_eq!(b.queue.count(), b.network.count());
+        let sum = b.queue.sum() + b.network.sum();
+        assert!(
+            (sum - b.total.sum()).abs() < 1e-6 * b.total.sum().max(1.0),
+            "queue + network must equal total: {} vs {}",
+            sum,
+            b.total.sum()
+        );
+        assert!(b.total_hist.percentile(99.0) >= b.total_hist.percentile(50.0));
+    }
+
+    #[test]
+    fn nox_contention_produces_encoded_events_and_mode_occupancy() {
+        let mut net = probed_net(Arch::Nox);
+        assert!(net.run_to_quiescence(100_000));
+        let mut probe = net.take_probe().expect("probe attached");
+        probe.finish();
+        let modes = probe.mode_occupancy();
+        assert!(modes[0] > 0, "Recovery cycles observed");
+        let chain = probe.chain_histogram();
+        assert!(chain[2] > 0, "two-flit encoded words observed: {chain:?}");
+        assert!(probe
+            .events()
+            .any(|e| matches!(e.kind, EventKind::Send { encoded: true, .. })));
+        assert!(probe.events().any(|e| matches!(e.kind, EventKind::Latch)));
+    }
+
+    #[test]
+    fn windows_cover_the_run() {
+        let mut net = probed_net(Arch::SpecAccurate);
+        assert!(net.run_to_quiescence(100_000));
+        let mut probe = net.take_probe().expect("probe attached");
+        probe.finish();
+        let total: u64 = probe.windows().iter().map(|w| w.cycles).sum();
+        assert_eq!(total, probe.cycles_observed());
+        assert!(probe.windows().len() >= 2, "expected multiple windows");
+        // Light load: nothing should look saturated.
+        assert_eq!(probe.saturation_onset_cycle(), None);
+    }
+
+    #[test]
+    fn ring_buffer_is_bounded() {
+        let mut net = Network::new(
+            NetConfig::small(Arch::Nox),
+            &contended_trace(200),
+            (0.0, f64::MAX),
+        );
+        net.enable_probe(ProbeConfig {
+            window_cycles: 32,
+            ring_capacity: 16,
+        });
+        assert!(net.run_to_quiescence(200_000));
+        let probe = net.probe().expect("probe attached");
+        assert!(probe.events().count() <= 16);
+        assert!(probe.events_dropped() > 0);
+    }
+
+    #[test]
+    fn saturation_onset_detected_under_overload() {
+        // Every node floods node 0: the ejection link must saturate.
+        let mut t = Trace::new();
+        for i in 0..400 {
+            for src in 1..16u16 {
+                t.push(PacketEvent {
+                    time_ns: i as f64 * 0.8,
+                    src: NodeId(src),
+                    dest: NodeId(0),
+                    len: 1,
+                });
+            }
+        }
+        let mut net = Network::new(NetConfig::small(Arch::Nox), &t, (0.0, f64::MAX));
+        net.enable_probe(ProbeConfig {
+            window_cycles: 128,
+            ring_capacity: 1_024,
+        });
+        net.run(2_000);
+        let probe = net.probe().expect("probe attached");
+        assert!(
+            probe.saturation_onset_cycle().is_some(),
+            "hotspot overload must saturate a link"
+        );
+        assert!(probe.windows().iter().any(|w| w.max_link_util > 0.9));
+    }
+}

@@ -60,6 +60,64 @@ pub struct TickCtx<'a> {
     pub sends: &'a mut Vec<Send>,
     /// Credit returns produced this cycle (usable after the credit delay).
     pub credits: &'a mut Vec<CreditReturn>,
+    /// Telemetry collector, if one is attached to the network.
+    #[cfg(feature = "probe")]
+    pub probe: Option<&'a mut crate::probe::Probe>,
+}
+
+impl<'a> TickCtx<'a> {
+    /// Creates a context with no probe attached.
+    pub fn new(
+        packets: &'a PacketTable,
+        counters: &'a mut Counters,
+        sends: &'a mut Vec<Send>,
+        credits: &'a mut Vec<CreditReturn>,
+    ) -> Self {
+        TickCtx {
+            packets,
+            counters,
+            sends,
+            credits,
+            #[cfg(feature = "probe")]
+            probe: None,
+        }
+    }
+
+    // Probe hook shims: real under the `probe` feature, empty inline
+    // no-ops otherwise, so the router call sites stay unconditional.
+
+    #[cfg(feature = "probe")]
+    fn probe_encoded(&mut self, node: NodeId, out: PortId, chain_len: u8) {
+        if let Some(p) = &mut self.probe {
+            p.on_encoded(node, out, chain_len);
+        }
+    }
+
+    #[cfg(not(feature = "probe"))]
+    #[inline(always)]
+    fn probe_encoded(&mut self, _node: NodeId, _out: PortId, _chain_len: u8) {}
+
+    #[cfg(feature = "probe")]
+    fn probe_wasted(&mut self, node: NodeId, out: PortId, colliding: u8, abort: bool) {
+        if let Some(p) = &mut self.probe {
+            p.on_wasted(node, out, colliding, abort);
+        }
+    }
+
+    #[cfg(not(feature = "probe"))]
+    #[inline(always)]
+    fn probe_wasted(&mut self, _node: NodeId, _out: PortId, _colliding: u8, _abort: bool) {}
+
+    #[cfg(feature = "probe")]
+    fn probe_latch(&mut self, node: NodeId, input: PortId) {
+        if let Some(p) = &mut self.probe {
+            p.on_latch(node, input);
+        }
+    }
+
+    #[cfg(not(feature = "probe"))]
+    #[inline(always)]
+    fn probe_latch(&mut self, _node: NodeId, _input: PortId) {}
 }
 
 /// One input port: wormhole FIFO, NoX decode register, and the Spec-Fast
@@ -286,6 +344,16 @@ impl Router {
         self.inputs.iter().map(|i| i.fifo.len()).sum()
     }
 
+    /// The NoX FSM mode of one output's control engine, for telemetry
+    /// sampling. `None` for non-NoX architectures.
+    #[cfg(feature = "probe")]
+    pub fn output_mode(&self, p: PortId) -> Option<nox_core::Mode> {
+        match &self.outputs[p.index()].engine {
+            Engine::Nox(ctl) => Some(ctl.mode()),
+            _ => None,
+        }
+    }
+
     /// Advances the router by one cycle.
     pub fn tick(&mut self, ctx: &mut TickCtx<'_>) {
         for i in &mut self.inputs {
@@ -317,6 +385,7 @@ impl Router {
                         input.decoder.latch(w);
                         ctx.counters.buffer_reads += 1;
                         ctx.counters.decode_reg_writes += 1;
+                        ctx.probe_latch(node, PortId(idx as u8));
                         if !topo.is_local(PortId(idx as u8)) {
                             ctx.credits.push(CreditReturn {
                                 node,
@@ -476,11 +545,13 @@ impl Router {
                 ctx.counters.link_wasted += 1;
                 ctx.counters.xbar_traversals += 1;
                 ctx.counters.xbar_inputs_active += d.drive.len() as u64;
+                ctx.probe_wasted(self.node, PortId(o as u8), d.drive.len() as u8, true);
                 continue;
             }
             if !d.drive.is_empty() {
                 if d.encoded {
                     ctx.counters.encoded_transfers += 1;
+                    ctx.probe_encoded(self.node, PortId(o as u8), d.drive.len() as u8);
                 }
                 self.drive_link(PortId(o as u8), d.drive, &presented, ctx);
             }
@@ -520,6 +591,7 @@ impl Router {
                 ctx.counters.link_wasted += 1;
                 ctx.counters.xbar_traversals += 1;
                 ctx.counters.xbar_inputs_active += d.collided.len() as u64;
+                ctx.probe_wasted(self.node, PortId(o as u8), d.collided.len() as u8, false);
             }
             if d.wasted_reservation {
                 ctx.counters.wasted_reservations += 1;
@@ -598,12 +670,7 @@ mod tests {
 
             // All four designs are single-cycle routers (§3.2): the flit
             // leaves on its arrival cycle, regardless of architecture.
-            let mut ctx = TickCtx {
-                packets: &packets,
-                counters: &mut counters,
-                sends: &mut sends,
-                credits: &mut credits,
-            };
+            let mut ctx = TickCtx::new(&packets, &mut counters, &mut sends, &mut credits);
             r.tick(&mut ctx);
             assert_eq!(sends.len(), 1, "{arch}: single-cycle traversal");
             let s = &sends[0];
@@ -625,12 +692,7 @@ mod tests {
             r.output_mut(Port::East.id()).credits = 0;
             r.input_mut(Port::West.id()).receive(word_for(key));
             for _ in 0..4 {
-                let mut ctx = TickCtx {
-                    packets: &packets,
-                    counters: &mut counters,
-                    sends: &mut sends,
-                    credits: &mut credits,
-                };
+                let mut ctx = TickCtx::new(&packets, &mut counters, &mut sends, &mut credits);
                 r.tick(&mut ctx);
             }
             assert!(sends.is_empty(), "{arch}: sent without credit");
@@ -648,12 +710,7 @@ mod tests {
         r.input_mut(Port::West.id()).receive(word_for(k1));
         r.input_mut(Port::North.id()).receive(word_for(k2));
 
-        let mut ctx = TickCtx {
-            packets: &packets,
-            counters: &mut counters,
-            sends: &mut sends,
-            credits: &mut credits,
-        };
+        let mut ctx = TickCtx::new(&packets, &mut counters, &mut sends, &mut credits);
         r.tick(&mut ctx);
 
         assert_eq!(sends.len(), 1);
@@ -670,12 +727,7 @@ mod tests {
 
         // Next cycle the loser goes out plain.
         sends.clear();
-        let mut ctx = TickCtx {
-            packets: &packets,
-            counters: &mut counters,
-            sends: &mut sends,
-            credits: &mut credits,
-        };
+        let mut ctx = TickCtx::new(&packets, &mut counters, &mut sends, &mut credits);
         r.tick(&mut ctx);
         assert_eq!(sends.len(), 1);
         assert!(sends[0].word.is_plain());
@@ -692,12 +744,7 @@ mod tests {
             r.input_mut(Port::West.id()).receive(word_for(k1));
             r.input_mut(Port::North.id()).receive(word_for(k2));
 
-            let mut ctx = TickCtx {
-                packets: &packets,
-                counters: &mut counters,
-                sends: &mut sends,
-                credits: &mut credits,
-            };
+            let mut ctx = TickCtx::new(&packets, &mut counters, &mut sends, &mut credits);
             r.tick(&mut ctx);
             assert!(sends.is_empty(), "{arch}: collision cycle must not deliver");
             assert_eq!(counters.link_wasted, 1);
@@ -722,12 +769,7 @@ mod tests {
         }
         let mut delivered = 0;
         for _ in 0..4 {
-            let mut ctx = TickCtx {
-                packets: &packets,
-                counters: &mut counters,
-                sends: &mut sends,
-                credits: &mut credits,
-            };
+            let mut ctx = TickCtx::new(&packets, &mut counters, &mut sends, &mut credits);
             r.tick(&mut ctx);
             delivered += sends.len();
             sends.clear();
@@ -758,12 +800,7 @@ mod tests {
 
             let mut order = Vec::new();
             for _ in 0..12 {
-                let mut ctx = TickCtx {
-                    packets: &packets,
-                    counters: &mut counters,
-                    sends: &mut sends,
-                    credits: &mut credits,
-                };
+                let mut ctx = TickCtx::new(&packets, &mut counters, &mut sends, &mut credits);
                 r.tick(&mut ctx);
                 for s in sends.drain(..) {
                     for k in s.word.keys() {

@@ -43,14 +43,15 @@ impl Source {
         self.backlog() == 0
     }
 
-    /// Injects up to one flit into the local input port.
+    /// Injects up to one flit into the local input port, returning the key
+    /// of the flit injected this cycle (if any).
     pub fn inject(
         &mut self,
         cycle: u64,
         local_in: &mut InputPort,
         packets: &PacketTable,
         counters: &mut Counters,
-    ) {
+    ) -> Option<FlitKey> {
         if self.current.is_none() {
             if let Some(&id) = self.pending.front() {
                 if packets.meta(id).created_cycle <= cycle {
@@ -60,13 +61,12 @@ impl Source {
                 }
             }
         }
-        let Some((id, seq, len)) = self.current else {
-            return;
-        };
+        let (id, seq, len) = self.current?;
         if !local_in.has_space() {
-            return;
+            return None;
         }
-        local_in.receive(word_for(FlitKey { packet: id, seq }));
+        let key = FlitKey { packet: id, seq };
+        local_in.receive(word_for(key));
         counters.flits_injected += 1;
         counters.buffer_writes += 1;
         self.current = if seq + 1 == len {
@@ -74,6 +74,7 @@ impl Source {
         } else {
             Some((id, seq + 1, len))
         };
+        Some(key)
     }
 }
 

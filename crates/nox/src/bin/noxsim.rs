@@ -1,16 +1,22 @@
 //! `noxsim` — command-line front end for the NoX reproduction.
 //!
 //! ```text
-//! noxsim sweep  [--arch all|nonspec|fast|acc|nox] [--pattern uniform|...]
-//!               [--process poisson|pareto] [--rates 500,1000,...]
-//!               [--len N] [--cmesh] [--csv]
-//! noxsim app    [--workload tpcc|all] [--seed N]
-//! noxsim power  [--rate MBPS]
-//! noxsim gen    --out FILE [--pattern P] [--rate MBPS] [--duration NS] [--len N] [--seed N]
-//! noxsim replay --trace FILE [--arch A] [--cmesh]
-//! noxsim verify [--quick]
+//! noxsim sweep   [--arch all|nonspec|fast|acc|nox] [--pattern uniform|...]
+//!                [--process poisson|pareto] [--rates 500,1000,...]
+//!                [--len N] [--cmesh] [--csv] [--probe] [--probe-out FILE]
+//! noxsim app     [--workload tpcc|all] [--seed N] [--probe] [--probe-out FILE]
+//! noxsim power   [--rate MBPS]
+//! noxsim gen     --out FILE [--pattern P] [--rate MBPS] [--duration NS] [--len N] [--seed N]
+//! noxsim replay  --trace FILE [--arch A] [--cmesh] [--probe] [--probe-out FILE]
+//!                [--wave NODE] [--chrome FILE]
+//! noxsim heatmap [--arch A] [--rate MBPS] [--pattern P] [--len N] [--cmesh]
+//! noxsim verify  [--quick]
 //! noxsim info
 //! ```
+//!
+//! The probe flags need the `probe` cargo feature
+//! (`cargo run --features probe --bin noxsim -- ...`); without it they
+//! fail with a pointer to the feature rather than silently doing nothing.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -43,6 +49,7 @@ fn main() -> ExitCode {
         "power" => cmd_power(&opts),
         "gen" => cmd_gen(&opts),
         "replay" => cmd_replay(&opts),
+        "heatmap" => cmd_heatmap(&opts),
         "verify" => cmd_verify(&opts),
         "info" => cmd_info(),
         "help" | "--help" | "-h" => {
@@ -65,15 +72,23 @@ fn usage() {
         "noxsim — the NoX router reproduction\n\
          \n\
          commands:\n\
-           sweep   latency/throughput/ED^2 over injection rates\n\
-           app     cache-coherent CMP workloads on two physical networks\n\
-           power   Figure 12-style power breakdown at one rate\n\
-           gen     generate a trace file\n\
-           replay  run a trace file through a network\n\
-           verify  model-check the protocol invariants + sanitized sim sweep\n\
-           info    clock periods, area, configuration summary\n\
+           sweep    latency/throughput/ED^2 over injection rates\n\
+           app      cache-coherent CMP workloads on two physical networks\n\
+           power    Figure 12-style power breakdown at one rate\n\
+           gen      generate a trace file\n\
+           replay   run a trace file through a network\n\
+           heatmap  per-router utilization/occupancy grids (needs --features probe)\n\
+           verify   model-check invariants + sanitized sweep (--quick: fast CI bounds)\n\
+           info     clock periods, area, configuration summary\n\
          \n\
          common flags: --arch all|nonspec|fast|acc|nox   --cmesh   --csv\n\
+         \n\
+         telemetry (sweep/app/replay, needs a build with --features probe):\n\
+           --probe            attach the cycle-level probe; print the JSON run report\n\
+           --probe-out FILE   write the JSON run report to FILE instead\n\
+           --wave NODE        (replay) print NODE's events as a textual waveform\n\
+           --chrome FILE      (replay, one --arch) write a Chrome trace-event JSON\n\
+         \n\
          run `noxsim <command>` with no flags for sensible defaults."
     );
 }
@@ -88,7 +103,7 @@ fn parse_opts(rest: &[String]) -> Result<Opts, String> {
             return Err(format!("expected a --flag, got {flag:?}"));
         };
         // Boolean flags take no value.
-        if matches!(name, "csv" | "cmesh" | "quick") {
+        if matches!(name, "csv" | "cmesh" | "quick" | "probe") {
             opts.insert(name.to_string(), "true".into());
             continue;
         }
@@ -133,6 +148,7 @@ fn f64_opt(opts: &Opts, key: &str, default: f64) -> Result<f64, String> {
 }
 
 fn cmd_sweep(opts: &Opts) -> Result<(), String> {
+    probe_gate(opts)?;
     let rates: Vec<f64> = match opts.get("rates") {
         None => (1..=10).map(|i| i as f64 * 300.0).collect(),
         Some(s) => s
@@ -167,6 +183,8 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
             "drained",
         ],
     );
+    #[cfg(feature = "probe")]
+    let mut probe = probe_cli::Collector::new(opts);
     for &arch in &archs {
         let model = EnergyModel::for_arch(arch);
         for &rate in &rates {
@@ -182,6 +200,11 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
                     seed: f64_opt(opts, "seed", 7.0)? as u64,
                 },
             );
+            #[cfg(feature = "probe")]
+            let r = probe.run_or_plain(opts, net_config(opts, arch), &trace, &spec, || {
+                format!("{} @ {rate:.0} MB/s/node", arch.name())
+            })?;
+            #[cfg(not(feature = "probe"))]
             let r = nox::sim::run(net_config(opts, arch), &trace, &spec);
             let p99 = r.latency_percentile_ns(99.0);
             let p = point_from_result(rate, r, &model);
@@ -197,10 +220,13 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
         }
     }
     emit(opts, &t);
+    #[cfg(feature = "probe")]
+    probe.finish(opts)?;
     Ok(())
 }
 
 fn cmd_app(opts: &Opts) -> Result<(), String> {
+    probe_gate(opts)?;
     let which = opts.get("workload").map(String::as_str).unwrap_or("all");
     let seed = f64_opt(opts, "seed", 13.0)? as u64;
     let workloads: Vec<_> = if which == "all" {
@@ -213,7 +239,7 @@ fn cmd_app(opts: &Opts) -> Result<(), String> {
         "application workloads (request + reply networks)",
         &["workload", "arch", "latency ns", "ED^2", "drained"],
     );
-    for w in workloads {
+    for w in &workloads {
         for arch in archs(opts)? {
             let r = run_workload(arch, w, seed, &spec);
             t.row([
@@ -226,6 +252,30 @@ fn cmd_app(opts: &Opts) -> Result<(), String> {
         }
     }
     emit(opts, &t);
+    // With the probe on, re-run each (workload, arch) pair's two physical
+    // networks under telemetry. `synthesize` is deterministic in the seed,
+    // so the probed runs see exactly the traffic the table was built from.
+    #[cfg(feature = "probe")]
+    {
+        let mut probe = probe_cli::Collector::new(opts);
+        if probe.active() {
+            use nox::analysis::apps::APP_TRACE_NS;
+            use nox::traffic::cmp::synthesize;
+            for w in &workloads {
+                for arch in archs(opts)? {
+                    let net = NetConfig::paper(arch);
+                    let traces =
+                        synthesize(Mesh::new(net.width, net.height), w, APP_TRACE_NS, seed);
+                    for (trace, side) in [(&traces.request, "request"), (&traces.reply, "reply")] {
+                        probe.run_or_plain(opts, net, trace, &spec, || {
+                            format!("{} {} {side}", w.name, arch.name())
+                        })?;
+                    }
+                }
+            }
+        }
+        probe.finish(opts)?;
+    }
     Ok(())
 }
 
@@ -288,6 +338,7 @@ fn cmd_gen(opts: &Opts) -> Result<(), String> {
 }
 
 fn cmd_replay(opts: &Opts) -> Result<(), String> {
+    probe_gate(opts)?;
     let path = opts.get("trace").ok_or("replay needs --trace FILE")?;
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     let trace = Trace::parse(&text).map_err(|e| e.to_string())?;
@@ -306,7 +357,14 @@ fn cmd_replay(opts: &Opts) -> Result<(), String> {
             "drained",
         ],
     );
+    #[cfg(feature = "probe")]
+    let mut probe = probe_cli::Collector::new(opts);
     for arch in archs(opts)? {
+        #[cfg(feature = "probe")]
+        let r = probe.run_or_plain(opts, net_config(opts, arch), &trace, &spec, || {
+            format!("replay {path} on {}", arch.name())
+        })?;
+        #[cfg(not(feature = "probe"))]
         let r = nox::sim::run(net_config(opts, arch), &trace, &spec);
         t.row([
             arch.name().to_string(),
@@ -317,7 +375,185 @@ fn cmd_replay(opts: &Opts) -> Result<(), String> {
         ]);
     }
     emit(opts, &t);
+    #[cfg(feature = "probe")]
+    probe.finish(opts)?;
     Ok(())
+}
+
+/// Per-router telemetry grids: one probed run per selected architecture
+/// (default NoX alone) at a fixed injection rate, rendered as the mesh-
+/// shaped utilization and occupancy heatmaps.
+#[cfg(feature = "probe")]
+fn cmd_heatmap(opts: &Opts) -> Result<(), String> {
+    use nox::sim::probe::ProbeConfig;
+
+    let rate = f64_opt(opts, "rate", 2_000.0)?;
+    let len: u16 = f64_opt(opts, "len", 1.0)? as u16;
+    let pat = pattern(opts)?;
+    let archs = if opts.contains_key("arch") {
+        archs(opts)?
+    } else {
+        vec![Arch::Nox]
+    };
+    let cores = Mesh::new(8, 8);
+    let spec = RunSpec {
+        warmup_ns: 1_500.0,
+        measure_ns: 6_000.0,
+        drain_ns: 30_000.0,
+    };
+    for arch in archs {
+        let trace = generate(
+            cores,
+            &SyntheticConfig {
+                pattern: pat,
+                process: Process::Poisson,
+                rate_mbps_per_node: rate,
+                len,
+                flit_bytes: 8,
+                duration_ns: 40_000.0,
+                seed: f64_opt(opts, "seed", 7.0)? as u64,
+            },
+        );
+        let run = nox::probe::probed_run(
+            net_config(opts, arch),
+            &trace,
+            &spec,
+            ProbeConfig::default(),
+        );
+        println!(
+            "== {} @ {rate:.0} MB/s/node {pat}, {} cycles ==",
+            arch.name(),
+            run.result.cycles
+        );
+        println!("{}", nox::probe::heatmap::render(&run.probe));
+    }
+    Ok(())
+}
+
+#[cfg(not(feature = "probe"))]
+fn cmd_heatmap(_opts: &Opts) -> Result<(), String> {
+    Err("heatmap needs the telemetry probe; rebuild with --features probe".into())
+}
+
+/// Rejects probe-only flags when the probe feature is compiled out, so
+/// they fail loudly instead of being silently ignored.
+#[cfg(not(feature = "probe"))]
+fn probe_gate(opts: &Opts) -> Result<(), String> {
+    for k in ["probe", "probe-out", "wave", "chrome"] {
+        if opts.contains_key(k) {
+            return Err(format!(
+                "--{k} needs the telemetry probe; rebuild with --features probe"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(feature = "probe")]
+fn probe_gate(_opts: &Opts) -> Result<(), String> {
+    Ok(())
+}
+
+/// Probe-enabled run plumbing shared by `sweep`, `app`, and `replay`.
+#[cfg(feature = "probe")]
+mod probe_cli {
+    use super::Opts;
+    use nox::prelude::*;
+    use nox::probe::{probed_run, report::run_report, Json};
+    use nox::sim::probe::ProbeConfig;
+    use nox::sim::sim::SimResult;
+
+    /// Collects one JSON run report per probed simulation and emits the
+    /// set when the command finishes.
+    pub struct Collector {
+        active: bool,
+        reports: Vec<Json>,
+        chrome_written: bool,
+    }
+
+    impl Collector {
+        pub fn new(opts: &Opts) -> Collector {
+            let active = ["probe", "probe-out", "wave", "chrome"]
+                .iter()
+                .any(|k| opts.contains_key(*k));
+            Collector {
+                active,
+                reports: Vec::new(),
+                chrome_written: false,
+            }
+        }
+
+        pub fn active(&self) -> bool {
+            self.active
+        }
+
+        /// Runs one simulation point — probed when any probe flag is set
+        /// (recording its report and handling `--wave` / `--chrome`),
+        /// plain otherwise. Either way the measurement result is
+        /// identical; observation does not perturb the simulation.
+        pub fn run_or_plain(
+            &mut self,
+            opts: &Opts,
+            cfg: NetConfig,
+            trace: &Trace,
+            spec: &RunSpec,
+            label: impl FnOnce() -> String,
+        ) -> Result<SimResult, String> {
+            if !self.active {
+                return Ok(nox::sim::run(cfg, trace, spec));
+            }
+            let label = label();
+            let run = probed_run(cfg, trace, spec, ProbeConfig::default());
+            if let Some(node) = opts.get("wave") {
+                let node: u16 = node
+                    .parse()
+                    .map_err(|_| format!("--wave: bad node {node:?}"))?;
+                if usize::from(node) >= run.probe.topology().routers() {
+                    return Err(format!(
+                        "--wave: node {node} out of range (this network has {} routers)",
+                        run.probe.topology().routers()
+                    ));
+                }
+                println!("-- {label} --");
+                print!(
+                    "{}",
+                    nox::probe::waveform::waveform(&run.probe, NodeId(node))
+                );
+            }
+            if let Some(path) = opts.get("chrome") {
+                if self.chrome_written {
+                    return Err(
+                        "--chrome covers a single run: pick one architecture with --arch".into(),
+                    );
+                }
+                std::fs::write(path, nox::probe::chrome::chrome_trace(&run.probe))
+                    .map_err(|e| e.to_string())?;
+                eprintln!("wrote Chrome trace for {label} to {path}");
+                self.chrome_written = true;
+            }
+            self.reports.push(run_report(&run).field("label", &*label));
+            Ok(run.result)
+        }
+
+        /// Writes the collected reports to `--probe-out` (or stdout).
+        pub fn finish(self, opts: &Opts) -> Result<(), String> {
+            if !self.active {
+                return Ok(());
+            }
+            let n = self.reports.len();
+            let doc = Json::obj()
+                .field("schema", "nox-probe/report-set/v1")
+                .field("reports", Json::Arr(self.reports));
+            match opts.get("probe-out") {
+                Some(path) => {
+                    std::fs::write(path, doc.to_string()).map_err(|e| e.to_string())?;
+                    eprintln!("wrote {n} probe report(s) to {path}");
+                }
+                None => println!("{doc}"),
+            }
+            Ok(())
+        }
+    }
 }
 
 fn cmd_verify(opts: &Opts) -> Result<(), String> {

@@ -45,6 +45,8 @@
 pub use nox_analysis as analysis;
 pub use nox_core as core;
 pub use nox_power as power;
+#[cfg(feature = "probe")]
+pub use nox_probe as probe;
 pub use nox_sim as sim;
 pub use nox_traffic as traffic;
 pub use nox_verify as verify;
