@@ -1,79 +1,18 @@
-//! Ablation study of the NoX design choices called out in DESIGN.md:
-//! how much of the router's performance comes from the *Scheduled* mode
-//! (the pre-scheduling half of §2.6) versus pure XOR-coded Recovery-mode
-//! arbitration?
+//! Ablation study (beyond the paper): NoX with its Scheduled mode
+//! disabled, isolating what XOR-coded Recovery arbitration alone buys.
 //!
-//! With Scheduled mode disabled, collision losers still drain through the
-//! chain correctly (the coding invariant is preserved), but nothing is
-//! ever pre-scheduled: sustained contention keeps resolving through fresh
-//! encoded collisions, and multi-flit streams hand off by re-colliding.
+//! Thin renderer over [`nox_analysis::harness::ablation`]. Pass
+//! `--quick`, `--smoke`, or `--json`.
 
-use nox_analysis::Table;
-use nox_sim::config::{Arch, NetConfig};
-use nox_sim::sim::{run, RunSpec};
-use nox_sim::topology::Mesh;
-use nox_traffic::cmp::{synthesize, workload};
-use nox_traffic::synthetic::{generate, SyntheticConfig};
+use nox_analysis::harness::ablation;
+use nox_analysis::HarnessArgs;
 
 fn main() {
-    let mesh = Mesh::new(8, 8);
-    let spec = RunSpec {
-        warmup_ns: 1_500.0,
-        measure_ns: 6_000.0,
-        drain_ns: 30_000.0,
-    };
-
-    let full = NetConfig::paper(Arch::Nox);
-    let ablated = NetConfig {
-        nox_scheduled_mode: false,
-        ..full
-    };
-
-    // Synthetic, single-flit, uniform random.
-    let mut t = Table::new(
-        "Ablation: NoX with and without Scheduled mode (uniform random)",
-        &["MB/s/node", "full NoX (ns)", "no Scheduled (ns)", "penalty"],
-    );
-    for rate in [500.0, 1500.0, 2500.0, 3000.0] {
-        let trace = generate(mesh, &SyntheticConfig::uniform(rate, 40_000.0));
-        let a = run(full, &trace, &spec);
-        let b = run(ablated, &trace, &spec);
-        t.row([
-            format!("{rate:.0}"),
-            format!("{:.2}", a.avg_latency_ns()),
-            format!("{:.2}", b.avg_latency_ns()),
-            format!(
-                "{:+.1}%",
-                (b.avg_latency_ns() / a.avg_latency_ns() - 1.0) * 100.0
-            ),
-        ]);
+    let args = HarnessArgs::from_env();
+    let r = ablation::run(args.tier);
+    if args.json {
+        println!("{}", r.to_json());
+    } else {
+        print!("{}", r.render());
     }
-    println!("{t}");
-
-    // Application traffic: multi-flit streams exercise the tail handoff.
-    let mut t = Table::new(
-        "Ablation on application reply networks (9-flit data packets)",
-        &["workload", "full NoX (ns)", "no Scheduled (ns)", "penalty"],
-    );
-    for name in ["ocean", "tpcc"] {
-        let w = workload(name).unwrap();
-        let traces = synthesize(mesh, w, 40_000.0, 13);
-        let a = run(full, &traces.reply, &spec);
-        let b = run(ablated, &traces.reply, &spec);
-        t.row([
-            name.to_string(),
-            format!("{:.2}", a.avg_latency_ns()),
-            format!("{:.2}", b.avg_latency_ns()),
-            format!(
-                "{:+.1}%",
-                (b.avg_latency_ns() / a.avg_latency_ns() - 1.0) * 100.0
-            ),
-        ]);
-    }
-    println!("{t}");
-    println!(
-        "Takeaway: Recovery-mode coding alone keeps NoX correct and productive,\n\
-         but Scheduled mode is what sustains full-rate output under continuous\n\
-         contention and hands multi-flit streams off without re-colliding."
-    );
 }

@@ -1,25 +1,30 @@
 //! Emits `BENCH_sim_throughput.json` — the simulator's own performance,
 //! machine-readable, so the perf trajectory of the reproduction can be
-//! tracked across commits:
+//! tracked across commits (`noxsim bench-compare OLD NEW` diffs two of
+//! these artifacts):
 //!
 //! * simulated cycles per wall-clock second for each architecture on the
-//!   paper's 8x8 mesh under uniform traffic, and
+//!   paper's 8x8 mesh under uniform traffic — N trials each (default 5,
+//!   `--trials N` to change), reported as median/min/max/spread, because
+//!   single-shot wall-clock numbers are too noisy to diff; and
 //! * wall time of each figure harness binary (run with `--quick`).
 //!
 //! Run from the repo root so the artifact lands next to the README:
 //!
 //! ```text
-//! cargo run --release -p nox-bench --bin bench_throughput
+//! cargo run --release -p nox-bench --bin bench_throughput [-- --trials N]
 //! ```
 //!
 //! Harness timings spawn the sibling binaries from the same target
 //! directory; any that are not built are recorded as skipped rather than
-//! failing the whole run. The schema is documented in the README.
+//! failing the whole run. The schema (`nox-bench/sim-throughput/v2`) is
+//! documented in the README and implemented in
+//! [`nox_analysis::bench_artifact`].
 
-use std::fmt::Write as _;
 use std::process::{Command, Stdio};
 use std::time::Instant;
 
+use nox_analysis::bench_artifact::{ArchThroughput, BenchArtifact, HarnessTiming};
 use nox_sim::config::{Arch, NetConfig};
 use nox_sim::sim::{run, RunSpec};
 use nox_sim::topology::Mesh;
@@ -27,6 +32,7 @@ use nox_traffic::synthetic::{generate, SyntheticConfig};
 
 const OUT: &str = "BENCH_sim_throughput.json";
 const RATE_MBPS: f64 = 2_000.0;
+const DEFAULT_TRIALS: usize = 5;
 
 /// Every figure harness in `src/bin`, in the index order of `main.rs`.
 const HARNESSES: &[&str] = &[
@@ -44,7 +50,7 @@ const HARNESSES: &[&str] = &[
     "feedback",
 ];
 
-fn sim_throughput(arch: Arch) -> (u64, f64) {
+fn sim_throughput(arch: Arch, trials: usize) -> ArchThroughput {
     let cores = Mesh::new(8, 8);
     let trace = generate(cores, &SyntheticConfig::uniform(RATE_MBPS, 40_000.0));
     let spec = RunSpec {
@@ -52,79 +58,84 @@ fn sim_throughput(arch: Arch) -> (u64, f64) {
         measure_ns: 6_000.0,
         drain_ns: 30_000.0,
     };
-    let t = Instant::now();
-    let r = run(NetConfig::paper(arch), &trace, &spec);
-    (r.cycles, t.elapsed().as_secs_f64())
-}
-
-fn json_f(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x}")
-    } else {
-        "null".to_string()
+    let mut cycles = 0;
+    let trials_cps = (0..trials)
+        .map(|_| {
+            let t = Instant::now();
+            let r = run(NetConfig::paper(arch), &trace, &spec);
+            cycles = r.cycles;
+            r.cycles as f64 / t.elapsed().as_secs_f64()
+        })
+        .collect();
+    ArchThroughput {
+        arch: arch.name().to_string(),
+        cycles,
+        trials_cps,
     }
 }
 
 fn main() {
-    let mut doc = String::new();
-    doc.push_str("{\n  \"schema\": \"nox-bench/sim-throughput/v1\",\n");
-    let _ = writeln!(doc, "  \"rate_mbps_per_node\": {RATE_MBPS},");
-    doc.push_str("  \"architectures\": [\n");
-    for (i, arch) in Arch::ALL.into_iter().enumerate() {
-        let (cycles, secs) = sim_throughput(arch);
-        let cps = cycles as f64 / secs;
-        println!(
-            "{:<16} {cycles:>8} cycles in {secs:>6.2} s = {cps:>12.0} cycles/sec",
-            arch.name()
-        );
-        let _ = writeln!(
-            doc,
-            "    {{\"arch\": \"{}\", \"cycles\": {cycles}, \"wall_s\": {}, \"cycles_per_sec\": {}}}{}",
-            arch.name(),
-            json_f(secs),
-            json_f(cps),
-            if i + 1 < Arch::ALL.len() { "," } else { "" }
-        );
-    }
-    doc.push_str("  ],\n  \"figure_harnesses\": [\n");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trials = args
+        .iter()
+        .position(|a| a == "--trials")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(DEFAULT_TRIALS)
+        .max(1);
+
+    let architectures: Vec<ArchThroughput> = Arch::ALL
+        .into_iter()
+        .map(|arch| {
+            let a = sim_throughput(arch, trials);
+            println!(
+                "{:<16} {:>8} cycles, {trials} trials: median {:>12.0} cycles/sec (min {:.0}, spread {:.0}%)",
+                a.arch,
+                a.cycles,
+                a.median_cps(),
+                a.min_cps(),
+                a.spread() * 100.0
+            );
+            a
+        })
+        .collect();
 
     let exe_dir = std::env::current_exe()
         .ok()
         .and_then(|p| p.parent().map(|d| d.to_path_buf()));
-    for (i, name) in HARNESSES.iter().enumerate() {
-        let bin = exe_dir.as_ref().map(|d| d.join(name));
-        let timing = bin.filter(|b| b.exists()).and_then(|b| {
-            let t = Instant::now();
-            let status = Command::new(&b)
-                .arg("--quick")
-                .stdout(Stdio::null())
-                .stderr(Stdio::null())
-                .status()
-                .ok()?;
-            status.success().then(|| t.elapsed().as_secs_f64())
-        });
-        match timing {
-            Some(secs) => {
-                println!("{name:<16} {secs:>6.2} s (--quick)");
-                let _ = write!(
-                    doc,
-                    "    {{\"harness\": \"{name}\", \"args\": [\"--quick\"], \"wall_s\": {}}}",
-                    json_f(secs)
-                );
+    let harnesses = HARNESSES
+        .iter()
+        .map(|name| {
+            let bin = exe_dir.as_ref().map(|d| d.join(name));
+            let wall_s = bin.filter(|b| b.exists()).and_then(|b| {
+                let t = Instant::now();
+                let status = Command::new(&b)
+                    .arg("--quick")
+                    .stdout(Stdio::null())
+                    .stderr(Stdio::null())
+                    .status()
+                    .ok()?;
+                status.success().then(|| t.elapsed().as_secs_f64())
+            });
+            match wall_s {
+                Some(secs) => println!("{name:<16} {secs:>6.2} s (--quick)"),
+                None => println!("{name:<16} skipped (binary not built or failed)"),
             }
-            None => {
-                println!("{name:<16} skipped (binary not built or failed)");
-                let _ = write!(
-                    doc,
-                    "    {{\"harness\": \"{name}\", \"args\": [\"--quick\"], \"wall_s\": null}}"
-                );
+            HarnessTiming {
+                harness: name.to_string(),
+                args: vec!["--quick".to_string()],
+                wall_s,
             }
-        }
-        doc.push_str(if i + 1 < HARNESSES.len() { ",\n" } else { "\n" });
-    }
-    doc.push_str("  ]\n}\n");
+        })
+        .collect();
 
-    match std::fs::write(OUT, &doc) {
+    let artifact = BenchArtifact {
+        schema: nox_analysis::bench_artifact::SCHEMA_V2.to_string(),
+        rate_mbps_per_node: RATE_MBPS,
+        architectures,
+        harnesses,
+    };
+    match std::fs::write(OUT, format!("{}\n", artifact.to_json())) {
         Ok(()) => println!("wrote {OUT}"),
         Err(e) => {
             eprintln!("error: could not write {OUT}: {e}");

@@ -1,109 +1,22 @@
-//! The paper's future-work study (§8): "evaluate the NoX architecture on
-//! alternative, higher radix, topologies ... which may derive more
-//! benefit given their higher arbitration latencies, their longer
-//! channels, and the fixed cost of the NoX decoding hardware."
+//! §8 future-work study: the NoX architecture on a higher-radix
+//! 64-core concentrated mesh, versus the paper's 8x8 mesh.
 //!
-//! Compares the 64-core 8x8 mesh of five-port routers against a 64-core
-//! 4x4 *concentrated* mesh of radix-8 routers (4 cores per router, 4 mm
-//! channels, clocks re-derived by the logical-effort model), sweeping
-//! uniform random traffic on both.
+//! Thin renderer over [`nox_analysis::harness::cmesh`]. Pass `--quick`,
+//! `--smoke`, or `--json`. Exits nonzero if the cmesh clock model
+//! diverges from the logical-effort critical paths.
 
-use nox_analysis::Table;
-use nox_power::timing::CriticalPath;
-use nox_sim::config::{cmesh_clock_ps, Arch, NetConfig};
-use nox_sim::sim::{run, RunSpec};
-use nox_sim::topology::Mesh;
-use nox_traffic::synthetic::{generate, SyntheticConfig};
+use nox_analysis::harness::cmesh;
+use nox_analysis::HarnessArgs;
 
 fn main() {
-    println!("Radix-8 concentrated-mesh clock periods (logical-effort model):\n");
-    let mut t = Table::new(
-        "",
-        &[
-            "architecture",
-            "mesh clock (ns)",
-            "cmesh clock (ns)",
-            "NoX-relative penalty",
-        ],
-    );
-    for arch in Arch::ALL {
-        let pen_mesh = Arch::Nox.clock_ps() as f64 / arch.clock_ps() as f64;
-        let pen_cmesh = cmesh_clock_ps(Arch::Nox) as f64 / cmesh_clock_ps(arch) as f64;
-        t.row([
-            arch.name().to_string(),
-            format!("{:.2}", arch.clock_ps() as f64 / 1000.0),
-            format!("{:.2}", cmesh_clock_ps(arch) as f64 / 1000.0),
-            format!("{:.3} -> {:.3}", pen_mesh, pen_cmesh),
-        ]);
-        assert_eq!(
-            CriticalPath::cmesh(arch).period_table2_ps(),
-            cmesh_clock_ps(arch)
-        );
+    let args = HarnessArgs::from_env();
+    let r = cmesh::run(args.tier);
+    if args.json {
+        println!("{}", r.to_json());
+    } else {
+        print!("{}", r.render());
     }
-    println!("{t}");
-
-    let spec = RunSpec {
-        warmup_ns: 1_500.0,
-        measure_ns: 6_000.0,
-        drain_ns: 30_000.0,
-    };
-    // Same 64-core uniform traffic drives both topologies.
-    let cores = Mesh::new(8, 8);
-
-    type ConfigFn = fn(Arch) -> NetConfig;
-    let variants: [(&str, ConfigFn); 2] = [
-        ("8x8 mesh (radix 5)", NetConfig::paper),
-        ("4x4 cmesh (radix 8)", NetConfig::cmesh_paper),
-    ];
-    for (label, cfg_of) in variants {
-        let mut t = Table::new(
-            format!("{label}: mean latency (ns) vs offered load, uniform random"),
-            &[
-                "MB/s/node",
-                "Non-Spec",
-                "Spec-Fast",
-                "Spec-Acc",
-                "NoX",
-                "NoX vs Spec-Acc",
-            ],
-        );
-        for rate in [500.0, 1000.0, 1500.0, 2000.0, 2500.0] {
-            let trace = generate(cores, &SyntheticConfig::uniform(rate, 40_000.0));
-            let lat: Vec<(f64, bool)> = Arch::ALL
-                .iter()
-                .map(|&a| {
-                    let r = run(cfg_of(a), &trace, &spec);
-                    (r.avg_latency_ns(), r.drained)
-                })
-                .collect();
-            let cell = |i: usize| {
-                if lat[i].1 {
-                    format!("{:.2}", lat[i].0)
-                } else {
-                    "sat".into()
-                }
-            };
-            t.row([
-                format!("{rate:.0}"),
-                cell(0),
-                cell(1),
-                cell(2),
-                cell(3),
-                if lat[2].1 && lat[3].1 {
-                    format!("{:+.1}%", (lat[3].0 / lat[2].0 - 1.0) * 100.0)
-                } else {
-                    "-".into()
-                },
-            ]);
-        }
-        println!("{t}");
+    if !r.clocks_consistent {
+        std::process::exit(1);
     }
-    println!(
-        "Hypothesis check (§8): NoX's clock penalty vs Spec-Accurate shrinks from\n\
-         {:.1}% on the mesh to {:.1}% on the cmesh, while per-hop contention rises\n\
-         (fewer, wider routers) — both effects work in NoX's favour at higher radix.",
-        (Arch::Nox.clock_ps() as f64 / Arch::SpecAccurate.clock_ps() as f64 - 1.0) * 100.0,
-        (cmesh_clock_ps(Arch::Nox) as f64 / cmesh_clock_ps(Arch::SpecAccurate) as f64 - 1.0)
-            * 100.0,
-    );
 }

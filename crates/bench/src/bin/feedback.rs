@@ -1,68 +1,19 @@
-//! Tests the paper's §5.2 conjecture: "these latency results are
-//! conservative due to our trace-based methodology and the self-throttling
-//! nature of interconnection networks ... allowing network feedback would
-//! result in higher contention favoring the NoX router."
+//! §5.2 conjecture (beyond the paper): closed-loop CMP runs with
+//! bounded MSHRs and think times, where network latency feeds back into
+//! issue rate.
 //!
-//! Runs the closed-loop CMP driver (bounded MSHRs, think times) on every
-//! router architecture: each core can only issue a new miss after earlier
-//! replies return, so a lower-latency network completes more misses per
-//! nanosecond. Miss throughput becomes the end-to-end performance metric
-//! the trace methodology cannot measure.
+//! Thin renderer over [`nox_analysis::harness::feedback`]. Pass
+//! `--quick`, `--smoke`, or `--json`.
 
-use nox_analysis::Table;
-use nox_sim::config::{Arch, NetConfig};
-use nox_traffic::closed_loop::{run_closed_loop, ClosedLoopConfig};
-use nox_traffic::cmp::workload;
+use nox_analysis::harness::feedback;
+use nox_analysis::HarnessArgs;
 
 fn main() {
-    let cfg = ClosedLoopConfig {
-        mshrs: 8,
-        think_ns: 4.0,
-        warmup_cycles: 3_000,
-        measure_cycles: 20_000,
-        seed: 0xC10,
-    };
-
-    for name in ["ocean", "tpcc"] {
-        let w = workload(name).unwrap();
-        let mut t = Table::new(
-            format!(
-                "closed-loop {name}: {} MSHRs/core, {} ns think time",
-                cfg.mshrs, cfg.think_ns
-            ),
-            &[
-                "architecture",
-                "miss latency (ns)",
-                "misses/us (all cores)",
-                "vs NoX",
-            ],
-        );
-        let mut rows = Vec::new();
-        for arch in Arch::ALL {
-            let r = run_closed_loop(NetConfig::paper(arch), w, &cfg);
-            rows.push((arch, r));
-        }
-        let nox_tp = rows
-            .iter()
-            .find(|(a, _)| *a == Arch::Nox)
-            .unwrap()
-            .1
-            .miss_throughput_per_ns;
-        for (arch, r) in &rows {
-            t.row([
-                arch.name().to_string(),
-                format!("{:.2}", r.miss_latency_ns.mean()),
-                format!("{:.1}", r.miss_throughput_per_ns * 1_000.0),
-                format!("{:+.1}%", (r.miss_throughput_per_ns / nox_tp - 1.0) * 100.0),
-            ]);
-        }
-        println!("{t}");
+    let args = HarnessArgs::from_env();
+    let r = feedback::run(args.tier);
+    if args.json {
+        println!("{}", r.to_json());
+    } else {
+        print!("{}", r.render());
     }
-    println!(
-        "With feedback, network latency feeds straight back into issue rate.\n\
-         On the control-heavy commercial workload (tpcc) NoX leads everyone,\n\
-         with the gaps wider than the open-loop Figure 10 — §5.2's prediction.\n\
-         On the data-fill-heavy scientific workload (ocean) the 9-flit reply\n\
-         network dominates and Spec-Accurate's shorter clock keeps it level."
-    );
 }

@@ -1,76 +1,18 @@
-//! Regenerates Figure 10 — application average packet latency — over the
-//! nine synthesized CMP workloads (the substitution for the paper's
-//! SPLASH-2 / SPEC / TPC traces; see DESIGN.md), each replayed on two
-//! 64-bit physical wormhole networks per Table 1.
+//! Regenerates Figure 10 — application average packet latency — over
+//! the nine synthesized CMP workloads on dual physical networks.
+//!
+//! Thin renderer over [`nox_analysis::harness::fig10`]. Pass `--quick`,
+//! `--smoke`, or `--json`.
 
-use nox_analysis::apps::{app_run_spec, run_workload, AppResult};
-use nox_analysis::Table;
-use nox_sim::config::Arch;
-use nox_traffic::WORKLOADS;
+use nox_analysis::harness::fig10;
+use nox_analysis::HarnessArgs;
 
 fn main() {
-    let spec = app_run_spec();
-    let mut t = Table::new(
-        "Figure 10: application average packet latency (ns)",
-        &[
-            "workload",
-            "Non-Spec",
-            "Spec-Fast",
-            "Spec-Acc",
-            "NoX",
-            "best",
-        ],
-    );
-    let mut sums = [0.0f64; 4];
-    let mut nox_wins = 0;
-    for w in &WORKLOADS {
-        let results: Vec<AppResult> = Arch::ALL
-            .iter()
-            .map(|&a| run_workload(a, w, 13, &spec))
-            .collect();
-        let best = results
-            .iter()
-            .min_by(|a, b| a.latency_ns.total_cmp(&b.latency_ns))
-            .unwrap()
-            .arch;
-        if best == Arch::Nox {
-            nox_wins += 1;
-        }
-        for (s, r) in sums.iter_mut().zip(&results) {
-            *s += r.latency_ns;
-        }
-        t.row([
-            w.name.to_string(),
-            format!("{:.2}", results[0].latency_ns),
-            format!("{:.2}", results[1].latency_ns),
-            format!("{:.2}", results[2].latency_ns),
-            format!("{:.2}", results[3].latency_ns),
-            best.name().to_string(),
-        ]);
+    let args = HarnessArgs::from_env();
+    let r = fig10::run(args.tier);
+    if args.json {
+        println!("{}", r.to_json());
+    } else {
+        print!("{}", r.render());
     }
-    t.row([
-        "MEAN".to_string(),
-        format!("{:.2}", sums[0] / WORKLOADS.len() as f64),
-        format!("{:.2}", sums[1] / WORKLOADS.len() as f64),
-        format!("{:.2}", sums[2] / WORKLOADS.len() as f64),
-        format!("{:.2}", sums[3] / WORKLOADS.len() as f64),
-        if sums[3]
-            <= *sums[..3]
-                .iter()
-                .fold(&f64::INFINITY, |m, x| if x < m { x } else { m })
-        {
-            "NoX"
-        } else {
-            "-"
-        }
-        .to_string(),
-    ]);
-    println!("{t}");
-    println!(
-        "NoX is the lowest-latency network on {nox_wins} of {} workloads.\n\
-         Paper prose: \"the NoX architecture [is] the optimal network given our\n\
-         application workloads\"; Spec-Fast is overly aggressive and even the\n\
-         non-speculative router can outperform it on contended workloads (tpcc).",
-        WORKLOADS.len()
-    );
 }

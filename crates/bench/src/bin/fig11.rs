@@ -1,47 +1,18 @@
-//! Regenerates Figure 11 — application energy-delay^2 — over the nine
-//! synthesized CMP workloads, and the paper's headline summary: "On
-//! average the NoX architecture outperforms the non-speculative,
-//! Spec-Fast, and Spec-Accurate by 29.5%, 34.4%, and 2.7% respectively on
-//! an energy-delay^2 basis."
+//! Regenerates Figure 11 — application energy-delay² — and the paper's
+//! headline mean improvements (+29.5% / +34.4% / +2.7%).
+//!
+//! Thin renderer over [`nox_analysis::harness::fig11`]. Pass `--quick`,
+//! `--smoke`, or `--json`.
 
-use nox_analysis::apps::{app_run_spec, mean_ed2_improvement_pct, run_workload, AppResult};
-use nox_analysis::Table;
-use nox_sim::config::Arch;
-use nox_traffic::WORKLOADS;
+use nox_analysis::harness::fig11;
+use nox_analysis::HarnessArgs;
 
 fn main() {
-    let spec = app_run_spec();
-    let mut per_arch: Vec<Vec<AppResult>> = vec![Vec::new(); 4];
-    let mut t = Table::new(
-        "Figure 11: application energy-delay^2 (pJ*ns^2)",
-        &["workload", "Non-Spec", "Spec-Fast", "Spec-Acc", "NoX"],
-    );
-    for w in &WORKLOADS {
-        let results: Vec<AppResult> = Arch::ALL
-            .iter()
-            .map(|&a| run_workload(a, w, 13, &spec))
-            .collect();
-        t.row([
-            w.name.to_string(),
-            format!("{:.3e}", results[0].ed2),
-            format!("{:.3e}", results[1].ed2),
-            format!("{:.3e}", results[2].ed2),
-            format!("{:.3e}", results[3].ed2),
-        ]);
-        for (v, r) in per_arch.iter_mut().zip(results) {
-            v.push(r);
-        }
-    }
-    println!("{t}");
-
-    let nox = &per_arch[3];
-    println!("Mean ED^2 improvement of NoX (geometric mean across workloads):");
-    for (i, paper) in [(0usize, 29.5), (1, 34.4), (2, 2.7)] {
-        println!(
-            "  vs {:<16} {:+.1}%   (paper: +{:.1}%)",
-            per_arch[i][0].arch.name(),
-            mean_ed2_improvement_pct(nox, &per_arch[i]),
-            paper
-        );
+    let args = HarnessArgs::from_env();
+    let r = fig11::run(args.tier);
+    if args.json {
+        println!("{}", r.to_json());
+    } else {
+        print!("{}", r.render());
     }
 }

@@ -1,90 +1,19 @@
-//! Regenerates Figure 12 — total network dynamic power for 2 GB/s/node
-//! single-flit uniform random traffic — split by component. Spec-Fast is
-//! omitted exactly as in the paper ("not shown due to its low saturation
-//! bandwidth": 2 GB/s/node is at/beyond its saturation point).
+//! Regenerates Figure 12 — network dynamic power at 2 GB/s/node uniform
+//! random traffic, split by component (Spec-Fast omitted as in the
+//! paper).
 //!
-//! Checks reported alongside the table (§5.3):
-//! * links dominate at ~74% of network power;
-//! * Spec-Accurate draws more link energy but slightly less switch energy
-//!   than NoX, netting ~2.5% more total power;
-//! * the non-speculative router consumes the least;
-//! * NoX decode energy is minimal.
+//! Thin renderer over [`nox_analysis::harness::fig12`]. Pass `--quick`,
+//! `--smoke`, or `--json`.
 
-use nox_analysis::Table;
-use nox_power::energy::EnergyModel;
-use nox_power::EnergyBreakdown;
-use nox_sim::config::{Arch, NetConfig};
-use nox_sim::sim::{run, RunSpec};
-use nox_sim::topology::Mesh;
-use nox_traffic::synthetic::{generate, SyntheticConfig};
+use nox_analysis::harness::fig12;
+use nox_analysis::HarnessArgs;
 
 fn main() {
-    let mesh = Mesh::new(8, 8);
-    // 2 GB/s/node = 2000 MB/s/node.
-    let trace = generate(mesh, &SyntheticConfig::uniform(2_000.0, 40_000.0));
-    let spec = RunSpec {
-        warmup_ns: 1_500.0,
-        measure_ns: 8_000.0,
-        drain_ns: 30_000.0,
-    };
-
-    let archs = [Arch::NonSpec, Arch::SpecAccurate, Arch::Nox];
-    let mut t = Table::new(
-        "Figure 12: network dynamic power (mW) @ 2 GB/s/node uniform random",
-        &[
-            "architecture",
-            "link",
-            "buffer",
-            "switch",
-            "arb",
-            "decode",
-            "total",
-            "link %",
-        ],
-    );
-    let mut bk: Vec<EnergyBreakdown> = Vec::new();
-    for arch in archs {
-        let r = run(NetConfig::paper(arch), &trace, &spec);
-        let b = EnergyModel::for_arch(arch).breakdown(&r.window_counters);
-        let w = r.window_ns;
-        t.row([
-            arch.name().to_string(),
-            format!("{:.1}", b.link_pj / w),
-            format!("{:.1}", b.buffer_pj / w),
-            format!("{:.1}", b.xbar_pj / w),
-            format!("{:.1}", b.arb_pj / w),
-            format!("{:.1}", b.decode_pj / w),
-            format!("{:.1}", b.power_mw(w)),
-            format!("{:.1}", b.link_share() * 100.0),
-        ]);
-        bk.push(b);
+    let args = HarnessArgs::from_env();
+    let r = fig12::run(args.tier);
+    if args.json {
+        println!("{}", r.to_json());
+    } else {
+        print!("{}", r.render());
     }
-    println!("{t}");
-
-    let (nonspec, acc, nox) = (&bk[0], &bk[1], &bk[2]);
-    println!("Checks against §5.3:");
-    println!(
-        "  link share of total power: {:.1}% (paper: ~74%)",
-        nox.link_share() * 100.0
-    );
-    println!(
-        "  Spec-Accurate vs NoX link energy:   {:+.1}%  (paper: +4.6%)",
-        (acc.link_pj / nox.link_pj - 1.0) * 100.0
-    );
-    println!(
-        "  Spec-Accurate vs NoX switch energy: {:+.1}%  (paper: -2.4%)",
-        (acc.xbar_pj / nox.xbar_pj - 1.0) * 100.0
-    );
-    println!(
-        "  Spec-Accurate vs NoX total power:   {:+.1}%  (paper: +2.5%)",
-        (acc.total_pj() / nox.total_pj() - 1.0) * 100.0
-    );
-    println!(
-        "  non-speculative vs NoX total power: {:+.1}%  (paper: lowest of all)",
-        (nonspec.total_pj() / nox.total_pj() - 1.0) * 100.0
-    );
-    println!(
-        "  NoX decode share of total:          {:.2}%  (paper: minimal)",
-        nox.decode_pj / nox.total_pj() * 100.0
-    );
 }

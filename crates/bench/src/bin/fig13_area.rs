@@ -1,29 +1,19 @@
 //! Regenerates Figure 13 / §6.2 — router floorplans and the NoX area
 //! penalty — from the parametric floorplan model.
+//!
+//! Thin renderer over [`nox_analysis::harness::fig13`]. Pass `--json`
+//! for the versioned machine-readable document (the area model is
+//! analytic, so the tier flags are accepted but change nothing).
 
-use nox_power::area::{Floorplan, CELL_HEIGHT_UM, NOX_EXTRA_WIDTH_UM};
+use nox_analysis::harness::fig13;
+use nox_analysis::HarnessArgs;
 
 fn main() {
-    println!("Baseline router floorplan (non-speculative / Spec-Fast / Spec-Accurate):");
-    print!("{}", Floorplan::baseline().report());
-    println!();
-    println!("NoX router floorplan:");
-    print!("{}", Floorplan::nox().report());
-    println!();
-
-    let base = Floorplan::baseline();
-    let nox = Floorplan::nox();
-    println!("Standard cell height: {CELL_HEIGHT_UM} um (paper: 2.52 um)");
-    println!(
-        "NoX extra horizontal length: {:.1} um (paper: 28.2 um)",
-        nox.width_um() - base.width_um()
-    );
-    println!(
-        "NoX router tile area penalty: {:.1}% (paper: 17.2%)",
-        nox.overhead_vs_baseline() * 100.0
-    );
-    assert!((nox.width_um() - base.width_um() - NOX_EXTRA_WIDTH_UM).abs() < 1e-9);
-    assert!((nox.overhead_vs_baseline() - 0.172).abs() < 0.005);
-    println!("\nAllocation, abort, and route-computation logic fits in the spare");
-    println!("corner and does not change either envelope (§6.2).");
+    let args = HarnessArgs::from_env();
+    let r = fig13::run(args.tier);
+    if args.json {
+        println!("{}", r.to_json());
+    } else {
+        print!("{}", r.render());
+    }
 }

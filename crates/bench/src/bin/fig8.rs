@@ -1,105 +1,20 @@
 //! Regenerates Figure 8 — synthetic traffic latency versus injection
-//! bandwidth — for four traffic scenarios: uniform random, transpose,
-//! bit-complement (Poisson arrivals), and self-similar Pareto ON/OFF
-//! uniform traffic (`alpha = 1.4`, `b = 8`, §5.1).
+//! bandwidth — for the paper's four traffic scenarios (§5.1).
 //!
-//! Prints one latency table per scenario plus the saturation and
-//! crossover summary the paper reports in prose. Latencies are in
-//! nanoseconds and injection rates in MB/s per node, exactly as the
-//! paper's axes. Pass `--quick` for a coarser, faster sweep.
+//! Thin renderer over [`nox_analysis::harness::fig8`]; the same library
+//! function feeds the claims registry. Pass `--quick` for a coarser
+//! sweep, `--smoke` for a CI-fast one, `--json` for the versioned
+//! machine-readable document.
 
-use nox_analysis::sweep::{crossover_mbps, sweep, ArchSeries, SweepConfig};
-use nox_analysis::Table;
-use nox_sim::config::Arch;
-use nox_traffic::synthetic::Process;
-use nox_traffic::Pattern;
-
-fn scenarios() -> Vec<(&'static str, Pattern, Process)> {
-    vec![
-        (
-            "a) uniform random",
-            Pattern::UniformRandom,
-            Process::Poisson,
-        ),
-        ("b) transpose", Pattern::Transpose, Process::Poisson),
-        (
-            "c) bit-complement",
-            Pattern::BitComplement,
-            Process::Poisson,
-        ),
-        (
-            "d) self-similar (Pareto on/off)",
-            Pattern::UniformRandom,
-            Process::ParetoOnOff,
-        ),
-    ]
-}
+use nox_analysis::harness::fig8;
+use nox_analysis::HarnessArgs;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let step = if quick { 500.0 } else { 250.0 };
-    let max = 3_500.0;
-    let rates: Vec<f64> = (1..)
-        .map(|i| i as f64 * step)
-        .take_while(|&r| r <= max)
-        .collect();
-
-    for (name, pattern, process) in scenarios() {
-        let cfg = SweepConfig {
-            pattern,
-            process,
-            ..SweepConfig::uniform(rates.clone())
-        };
-        let series: Vec<ArchSeries> = Arch::ALL.iter().map(|&a| sweep(a, &cfg)).collect();
-
-        let mut t = Table::new(
-            format!("Figure 8{name}: mean latency (ns) vs offered load (MB/s/node)"),
-            &["MB/s/node", "Non-Spec", "Spec-Fast", "Spec-Acc", "NoX"],
-        );
-        for (i, &rate) in rates.iter().enumerate() {
-            let cell = |s: &ArchSeries| {
-                let p = &s.points[i];
-                if p.drained {
-                    format!("{:.2}", p.latency_ns)
-                } else {
-                    "sat".to_string()
-                }
-            };
-            t.row([
-                format!("{rate:.0}"),
-                cell(&series[0]),
-                cell(&series[1]),
-                cell(&series[2]),
-                cell(&series[3]),
-            ]);
-        }
-        println!("{t}");
-
-        print!("  saturation throughput (MB/s/node):");
-        for s in &series {
-            print!("  {} {:.0}", s.arch.name(), s.saturation_mbps(15.0));
-        }
-        println!();
-        let nox = &series[3];
-        let best_other = series[..3]
-            .iter()
-            .map(|s| s.saturation_mbps(15.0))
-            .fold(0.0, f64::max);
-        println!(
-            "  NoX throughput vs best other: {:+.1}%  (paper: up to +9.9% across patterns)",
-            (nox.saturation_mbps(15.0) / best_other - 1.0) * 100.0
-        );
-        if let Some(x) = crossover_mbps(nox, &series[2]) {
-            println!("  NoX overtakes Spec-Accurate from {x:.0} MB/s/node");
-        }
-        if let Some(x) = crossover_mbps(&series[2], &series[1]) {
-            println!("  Spec-Accurate overtakes Spec-Fast from {x:.0} MB/s/node");
-        }
-        println!();
+    let args = HarnessArgs::from_env();
+    let r = fig8::run(args.tier);
+    if args.json {
+        println!("{}", r.to_json());
+    } else {
+        print!("{}", r.render());
     }
-    println!(
-        "Paper prose for Fig 8a: Spec-Fast best to 575 MB/s/node, Spec-Accurate to\n\
-         750 MB/s/node, NoX best above that until saturation at 2775 MB/s/node;\n\
-         Spec-Fast frequently saturates at less than half the others' bandwidth."
-    );
 }

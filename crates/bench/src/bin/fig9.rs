@@ -1,89 +1,18 @@
-//! Regenerates Figure 9 — synthetic traffic energy-delay^2 versus
-//! injection bandwidth — for the same four scenarios as Figure 8. ED^2 is
-//! mean packet energy (pJ) times mean packet latency squared (ns^2); the
-//! paper notes the Figure 8 trends are amplified here because the
-//! speculative routers also waste link energy on misspeculation.
+//! Regenerates Figure 9 — synthetic traffic energy-delay² versus
+//! injection bandwidth — from the same sweeps as Figure 8.
+//!
+//! Thin renderer over [`nox_analysis::harness::fig9`]. Pass `--quick`,
+//! `--smoke`, or `--json`.
 
-use nox_analysis::sweep::{sweep, ArchSeries, SweepConfig};
-use nox_analysis::Table;
-use nox_sim::config::Arch;
-use nox_traffic::synthetic::Process;
-use nox_traffic::Pattern;
+use nox_analysis::harness::fig9;
+use nox_analysis::HarnessArgs;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let step = if quick { 500.0 } else { 250.0 };
-    let rates: Vec<f64> = (1..)
-        .map(|i| i as f64 * step)
-        .take_while(|&r| r <= 3_500.0)
-        .collect();
-
-    let scenarios = [
-        (
-            "a) uniform random",
-            Pattern::UniformRandom,
-            Process::Poisson,
-        ),
-        ("b) transpose", Pattern::Transpose, Process::Poisson),
-        (
-            "c) bit-complement",
-            Pattern::BitComplement,
-            Process::Poisson,
-        ),
-        (
-            "d) self-similar (Pareto on/off)",
-            Pattern::UniformRandom,
-            Process::ParetoOnOff,
-        ),
-    ];
-
-    for (name, pattern, process) in scenarios {
-        let cfg = SweepConfig {
-            pattern,
-            process,
-            ..SweepConfig::uniform(rates.clone())
-        };
-        let series: Vec<ArchSeries> = Arch::ALL.iter().map(|&a| sweep(a, &cfg)).collect();
-
-        let mut t = Table::new(
-            format!("Figure 9{name}: energy-delay^2 (pJ*ns^2) vs offered load (MB/s/node)"),
-            &["MB/s/node", "Non-Spec", "Spec-Fast", "Spec-Acc", "NoX"],
-        );
-        for (i, &rate) in rates.iter().enumerate() {
-            let cell = |s: &ArchSeries| {
-                let p = &s.points[i];
-                if p.drained {
-                    format!("{:.3e}", p.ed2)
-                } else {
-                    "sat".to_string()
-                }
-            };
-            t.row([
-                format!("{rate:.0}"),
-                cell(&series[0]),
-                cell(&series[1]),
-                cell(&series[2]),
-                cell(&series[3]),
-            ]);
-        }
-        println!("{t}");
-
-        // The last rate at which everyone is still below saturation gives
-        // a fair ED^2 comparison point.
-        if let Some(i) = (0..rates.len())
-            .rev()
-            .find(|&i| series.iter().all(|s| s.points[i].drained))
-        {
-            let nox = series[3].points[i].ed2;
-            print!("  at {:.0} MB/s/node, ED^2 vs NoX:", rates[i]);
-            for s in &series[..3] {
-                print!(
-                    "  {} {:+.1}%",
-                    s.arch.name(),
-                    (s.points[i].ed2 / nox - 1.0) * 100.0
-                );
-            }
-            println!("\n");
-        }
+    let args = HarnessArgs::from_env();
+    let r = fig9::run(args.tier);
+    if args.json {
+        println!("{}", r.to_json());
+    } else {
+        print!("{}", r.render());
     }
 }

@@ -1,166 +1,24 @@
-//! Regenerates (and verifies) the paper's timing examples — Figures 2, 3
-//! and 7 — as golden cycle-by-cycle traces against the real control state
-//! machines. Any divergence from the expected trace aborts the run, so
-//! this doubles as an executable specification of §2.3 and §3.2.
+//! Replays the paper's golden timing examples (Figures 2, 3, 7) against
+//! the real control state machines — the executable specification of
+//! §2.3 and §3.2. The richer pretty-printer lives in `cargo run -p nox
+//! --example timing_diagram`.
 //!
-//! The richer pretty-printer lives in `cargo run -p nox --example
-//! timing_diagram`; this harness focuses on asserting the golden traces.
+//! Thin renderer over [`nox_analysis::harness::figs237`]. Pass `--json`
+//! for the versioned machine-readable document. Exits nonzero if any
+//! trace diverges.
 
-use nox_core::{
-    Coded, DecodeAction, DecodePlan, Decoder, NonSpecCtl, OutputCtl, PortId, PortSet, RequestSet,
-    SpecCtl, SpecMode,
-};
-
-fn set(ports: &[u8]) -> PortSet {
-    ports.iter().map(|&p| PortId(p)).collect()
-}
-
-/// The shared stimulus: requests present per cycle (A=p0 @0; B=p1,C=p2 @2,
-/// persisting until serviced).
-struct Stim {
-    queues: [Vec<(u64, char)>; 3],
-}
-
-impl Stim {
-    fn new() -> Self {
-        Stim {
-            queues: [vec![(0, 'A')], vec![(2, 'B')], vec![(2, 'C')]],
-        }
-    }
-    fn req(&self, cycle: u64) -> RequestSet {
-        let mut r = PortSet::EMPTY;
-        for (i, q) in self.queues.iter().enumerate() {
-            if q.first().is_some_and(|&(c, _)| c <= cycle) {
-                r.insert(PortId(i as u8));
-            }
-        }
-        RequestSet::single_flit(r)
-    }
-    fn pop(&mut self, p: PortId) -> char {
-        self.queues[p.index()].remove(0).1
-    }
-}
+use nox_analysis::harness::figs237;
+use nox_analysis::HarnessArgs;
 
 fn main() {
-    // ------------------------------------------------ Figure 2 (NoX send)
-    let mut out = OutputCtl::new(3);
-    let mut stim = Stim::new();
-    let mut sent: Vec<(u64, String)> = Vec::new();
-    let mut link: Vec<Coded<u64>> = Vec::new();
-    for cycle in 0..5 {
-        let d = out.tick(stim.req(cycle));
-        if !d.drive.is_empty() && !d.aborted {
-            let word: Coded<u64> = d
-                .drive
-                .iter()
-                .map(|i| {
-                    let name = stim.queues[i.index()][0].1;
-                    Coded::plain(name as u64, name as u64)
-                })
-                .collect();
-            let label: String = word
-                .keys()
-                .iter()
-                .map(|&k| char::from_u32(k as u32).unwrap())
-                .collect();
-            sent.push((cycle, label));
-            link.push(word);
-        }
-        for i in d.serviced.iter() {
-            stim.pop(i);
-        }
+    let args = HarnessArgs::from_env();
+    let r = figs237::run(args.tier);
+    if args.json {
+        println!("{}", r.to_json());
+    } else {
+        print!("{}", r.render());
     }
-    let expect2 = vec![(0, "A".into()), (2, "BC".into()), (3, "C".into())];
-    assert_eq!(sent, expect2, "Figure 2 trace diverged");
-    println!("Figure 2  (NoX transmit):  A@0, (B^C)@2 encoded, C@3      ... verified");
-
-    // --------------------------------------------- Figure 3 (NoX receive)
-    let mut fifo: std::collections::VecDeque<Coded<u64>> = link.into();
-    let mut dec = Decoder::new();
-    let mut presented = Vec::new();
-    for _ in 0..6 {
-        match dec.plan(fifo.front()) {
-            DecodePlan::Idle => break,
-            DecodePlan::Latch => {
-                let w = fifo.pop_front().unwrap();
-                dec.latch(w);
-                presented.push("latch".to_string());
-            }
-            DecodePlan::Present { word, action } => {
-                presented.push(
-                    char::from_u32(word.sole_key().unwrap() as u32)
-                        .unwrap()
-                        .to_string(),
-                );
-                let popped = match action {
-                    DecodeAction::Pass => {
-                        fifo.pop_front();
-                        None
-                    }
-                    DecodeAction::DecodeKeep => None,
-                    DecodeAction::DecodeShift => Some(fifo.pop_front().unwrap()),
-                };
-                dec.commit(action, popped);
-            }
-        }
+    if !r.all_pass() {
+        std::process::exit(1);
     }
-    assert_eq!(presented, vec!["A", "latch", "B", "C"], "Figure 3 diverged");
-    println!("Figure 3  (NoX receive):   A, latch(B^C), B, C           ... verified");
-
-    // --------------------------------------------- Figure 7a (sequential)
-    let mut out = NonSpecCtl::new(3);
-    let mut stim = Stim::new();
-    let mut sent = Vec::new();
-    for cycle in 0..5 {
-        let d = out.tick(stim.req(cycle));
-        if let Some(i) = d.drive {
-            sent.push((cycle, stim.pop(i)));
-        }
-    }
-    assert_eq!(
-        sent,
-        vec![(0, 'A'), (2, 'B'), (3, 'C')],
-        "Figure 7a diverged"
-    );
-    println!("Figure 7a (sequential):    A@0, B@2, C@3                 ... verified");
-
-    // ------------------------------------------------------- Figure 7b/7c
-    for (mode, expect, label) in [
-        (
-            SpecMode::Fast,
-            vec![(0, 'A'), (3, 'B'), (5, 'C')],
-            "Figure 7b (Spec-Fast):     A@0, XX@2, B@3, --@4, C@5",
-        ),
-        (
-            SpecMode::Accurate,
-            vec![(0, 'A'), (3, 'B'), (4, 'C')],
-            "Figure 7c (Spec-Accurate): A@0, XX@2, B@3, C@4",
-        ),
-    ] {
-        let mut out = SpecCtl::new(3, mode);
-        let mut stim = Stim::new();
-        let mut sent = Vec::new();
-        let mut collided_cycles = Vec::new();
-        for cycle in 0..7 {
-            let d = out.tick(stim.req(cycle), PortSet::EMPTY);
-            if !d.collided.is_empty() {
-                collided_cycles.push(cycle);
-            }
-            if let Some(i) = d.drive {
-                sent.push((cycle, stim.pop(i)));
-            }
-        }
-        assert_eq!(sent, expect, "{mode:?} trace diverged");
-        assert_eq!(
-            collided_cycles,
-            vec![2],
-            "{mode:?} collision cycle diverged"
-        );
-        println!("{label}  ... verified");
-    }
-
-    // Cross-check: same stimulus, all inputs serviced, exactly one wasted
-    // link cycle for each speculative router, none for NoX/sequential.
-    let _ = set(&[0, 1, 2]);
-    println!("\nAll golden timing traces of §2.3 and §3.2 reproduced exactly.");
 }

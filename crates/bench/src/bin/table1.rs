@@ -1,55 +1,19 @@
 //! Regenerates Table 1 — common system parameters — from the live
-//! configuration types, so any drift between code and paper shows up here.
+//! configuration types, so any drift between code and paper shows up
+//! here.
+//!
+//! Thin renderer over [`nox_analysis::harness::table1`]. Pass `--json`
+//! for the versioned machine-readable document.
 
-use nox_analysis::Table;
-use nox_sim::config::{Arch, NetConfig};
-use nox_traffic::cmp::{CTRL_FLITS, DATA_FLITS};
+use nox_analysis::harness::table1;
+use nox_analysis::HarnessArgs;
 
 fn main() {
-    let cfg = NetConfig::paper(Arch::Nox);
-    let mut t = Table::new("Table 1: Common System Parameters", &["Parameter", "Value"]);
-    t.row(["Cores", &cfg.nodes().to_string()]);
-    t.row(["Topology", &format!("{}x{} mesh", cfg.width, cfg.height)]);
-    t.row([
-        "Processor",
-        "3GHz in-order PowerPC (trace synthesizer model)",
-    ]);
-    t.row([
-        "L1 I/D Caches",
-        "32KB, 2-way set associative (modeled via miss rates)",
-    ]);
-    t.row([
-        "L2 Cache",
-        "256KB, 8-way set associative (modeled via home nodes)",
-    ]);
-    t.row(["Cache Line Size", "64-bytes"]);
-    t.row([
-        "Memory Latency",
-        "100 cycles (folded into workload service_ns)",
-    ]);
-    t.row([
-        "Interconnect",
-        &format!(
-            "{}-bit request, {}-bit reply network",
-            cfg.flit_bytes * 8,
-            cfg.flit_bytes * 8
-        ),
-    ]);
-    t.row([
-        "Packet Sizes",
-        &format!(
-            "{} byte control ({} flit), {} byte data ({} flits)",
-            CTRL_FLITS as u32 * cfg.flit_bytes,
-            CTRL_FLITS,
-            DATA_FLITS as u32 * cfg.flit_bytes,
-            DATA_FLITS
-        ),
-    ]);
-    t.row([
-        "Buffer Depth",
-        &format!("{} 64-bit entries/port", cfg.buffer_depth),
-    ]);
-    t.row(["Channel Length", "2mm"]);
-    t.row(["Routing Algorithm", "Dimension Ordered Routing"]);
-    println!("{t}");
+    let args = HarnessArgs::from_env();
+    let r = table1::run(args.tier);
+    if args.json {
+        println!("{}", r.to_json());
+    } else {
+        print!("{}", r.render());
+    }
 }

@@ -1,51 +1,22 @@
 //! Regenerates Table 2 — router clock periods — from the logical-effort
-//! timing model, printing the per-block critical-path breakdown and the
-//! comparison against the published numbers.
+//! timing model, with the per-block critical-path breakdown.
+//!
+//! Thin renderer over [`nox_analysis::harness::table2`]. Pass `--json`
+//! for the versioned machine-readable document. Exits nonzero if the
+//! model drifts from the published periods.
 
-use nox_analysis::Table;
-use nox_power::timing::CriticalPath;
-use nox_sim::config::Arch;
+use nox_analysis::harness::table2;
+use nox_analysis::HarnessArgs;
 
 fn main() {
-    println!("Critical paths (logical-effort model, 65 nm-class process):\n");
-    for arch in Arch::ALL {
-        let path = CriticalPath::new(arch);
-        println!("{}:", arch.name());
-        print!("{}", path.report());
-        println!();
+    let args = HarnessArgs::from_env();
+    let r = table2::run(args.tier);
+    if args.json {
+        println!("{}", r.to_json());
+    } else {
+        print!("{}", r.render());
     }
-
-    let mut t = Table::new(
-        "Table 2: Router Clock Periods",
-        &["Architecture", "modeled (ns)", "paper (ns)", "match"],
-    );
-    let mut all_match = true;
-    for arch in Arch::ALL {
-        let modeled = CriticalPath::new(arch).period_table2_ps();
-        let paper = arch.clock_ps();
-        all_match &= modeled == paper;
-        t.row([
-            arch.name().to_string(),
-            format!("{:.2}", modeled as f64 / 1000.0),
-            format!("{:.2}", paper as f64 / 1000.0),
-            if modeled == paper { "yes" } else { "NO" }.to_string(),
-        ]);
+    if !r.all_match() {
+        std::process::exit(1);
     }
-    println!("{t}");
-
-    let nox = CriticalPath::new(Arch::Nox).period_ps();
-    let acc = CriticalPath::new(Arch::SpecAccurate).period_ps();
-    println!(
-        "NoX decode overhead over Spec-Accurate: {:.0} ps (paper: ~40 ps)",
-        nox - acc
-    );
-    let base = CriticalPath::new(Arch::NonSpec).period_ps();
-    println!(
-        "Clock speedups vs non-speculative: Spec-Fast {:.1}%, Spec-Accurate {:.1}%, NoX {:.1}% \
-         (paper: 33.3%, 27.8%, 21.1%)",
-        (base / CriticalPath::new(Arch::SpecFast).period_ps() - 1.0) * 100.0,
-        (base / acc - 1.0) * 100.0,
-        (base / nox - 1.0) * 100.0,
-    );
-    assert!(all_match, "timing model diverged from Table 2");
 }

@@ -49,5 +49,12 @@ fn main() {
         println!("  cargo run --release -p nox-bench --bin {bin:<12} # {what}");
     }
     println!();
-    println!("Criterion micro-benchmarks: cargo bench -p nox-bench");
+    println!("Every harness accepts --quick (coarse sweep), --smoke (CI-fast), and");
+    println!("--json (versioned machine-readable output, schema nox-bench/<name>/v1).");
+    println!();
+    println!("Conformance registry:        cargo run --release -p nox --bin noxsim -- claims");
+    println!(
+        "Perf artifact:               cargo run --release -p nox-bench --bin bench_throughput"
+    );
+    println!("Criterion micro-benchmarks:  cargo bench -p nox-bench");
 }

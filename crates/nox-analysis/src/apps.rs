@@ -44,11 +44,25 @@ pub fn app_run_spec() -> RunSpec {
 /// Trace duration that comfortably covers [`app_run_spec`].
 pub const APP_TRACE_NS: f64 = 40_000.0;
 
-/// Runs `workload` on both physical networks of `arch`.
+/// Runs `workload` on both physical networks of `arch` with the default
+/// trace length ([`APP_TRACE_NS`]).
 pub fn run_workload(arch: Arch, w: &Workload, seed: u64, spec: &RunSpec) -> AppResult {
+    run_workload_sized(arch, w, seed, spec, APP_TRACE_NS)
+}
+
+/// Runs `workload` on both physical networks of `arch`, synthesizing
+/// `trace_ns` of traffic (shortened by the smoke tier; `spec` must fit
+/// inside it).
+pub fn run_workload_sized(
+    arch: Arch,
+    w: &Workload,
+    seed: u64,
+    spec: &RunSpec,
+    trace_ns: f64,
+) -> AppResult {
     let net = NetConfig::paper(arch);
     let mesh = Mesh::new(net.width, net.height);
-    let traces = synthesize(mesh, w, APP_TRACE_NS, seed);
+    let traces = synthesize(mesh, w, trace_ns, seed);
     let model = EnergyModel::for_arch(arch);
 
     let rq = run(net, &traces.request, spec);

@@ -1,0 +1,437 @@
+//! The `BENCH_sim_throughput.json` performance artifact — the
+//! simulator's own speed, tracked across commits — and the regression
+//! comparison behind `noxsim bench-compare`.
+//!
+//! v2 of the schema records N trials per architecture and reports the
+//! median/min/max cycles-per-second, because single-shot wall-clock
+//! numbers on shared CI runners are too noisy to diff. The parser also
+//! accepts the original v1 documents (one measurement, treated as a
+//! single-trial median) so old committed artifacts stay comparable.
+
+use std::fmt::Write as _;
+
+use crate::json::Json;
+
+/// Versioned schema of the v2 document this module emits.
+pub const SCHEMA_V2: &str = "nox-bench/sim-throughput/v2";
+
+/// The v1 schema the parser still accepts.
+pub const SCHEMA_V1: &str = "nox-bench/sim-throughput/v1";
+
+/// Relative slowdown tolerated before `compare` flags a regression
+/// (median-to-median), as a fraction.
+pub const DEFAULT_NOISE_THRESHOLD: f64 = 0.10;
+
+/// Multi-trial simulator throughput of one architecture.
+#[derive(Clone, Debug)]
+pub struct ArchThroughput {
+    /// Architecture display name.
+    pub arch: String,
+    /// Simulated cycles per run (identical across trials).
+    pub cycles: u64,
+    /// Cycles per wall-clock second, one entry per trial, as measured.
+    pub trials_cps: Vec<f64>,
+}
+
+impl ArchThroughput {
+    /// Median cycles/second across trials.
+    pub fn median_cps(&self) -> f64 {
+        percentile_sorted(&self.sorted(), 0.5)
+    }
+
+    /// Slowest trial.
+    pub fn min_cps(&self) -> f64 {
+        self.sorted().first().copied().unwrap_or(f64::NAN)
+    }
+
+    /// Fastest trial.
+    pub fn max_cps(&self) -> f64 {
+        self.sorted().last().copied().unwrap_or(f64::NAN)
+    }
+
+    /// Relative spread: (max - min) / median.
+    pub fn spread(&self) -> f64 {
+        (self.max_cps() - self.min_cps()) / self.median_cps()
+    }
+
+    fn sorted(&self) -> Vec<f64> {
+        let mut v = self.trials_cps.clone();
+        v.sort_by(f64::total_cmp);
+        v
+    }
+}
+
+/// One figure harness's wall time (single run; these are coarse).
+#[derive(Clone, Debug)]
+pub struct HarnessTiming {
+    /// Binary name.
+    pub harness: String,
+    /// Arguments it ran with.
+    pub args: Vec<String>,
+    /// Wall seconds, or `None` if the binary was skipped.
+    pub wall_s: Option<f64>,
+}
+
+/// A parsed `BENCH_sim_throughput.json` document (either version).
+#[derive(Clone, Debug)]
+pub struct BenchArtifact {
+    /// The document's schema string.
+    pub schema: String,
+    /// Offered load of the throughput runs, MB/s per node.
+    pub rate_mbps_per_node: f64,
+    /// Per-architecture throughput.
+    pub architectures: Vec<ArchThroughput>,
+    /// Per-harness wall times.
+    pub harnesses: Vec<HarnessTiming>,
+}
+
+fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+impl BenchArtifact {
+    /// Builds the v2 JSON document.
+    pub fn to_json(&self) -> Json {
+        let archs = self
+            .architectures
+            .iter()
+            .map(|a| {
+                Json::obj()
+                    .field("arch", a.arch.clone())
+                    .field("cycles", a.cycles)
+                    .field("trials_cps", a.trials_cps.clone())
+                    .field("median_cps", a.median_cps())
+                    .field("min_cps", a.min_cps())
+                    .field("max_cps", a.max_cps())
+                    .field("spread", a.spread())
+            })
+            .collect::<Vec<_>>();
+        let harnesses = self
+            .harnesses
+            .iter()
+            .map(|h| {
+                Json::obj()
+                    .field("harness", h.harness.clone())
+                    .field("args", h.args.clone())
+                    .field("wall_s", h.wall_s)
+            })
+            .collect::<Vec<_>>();
+        Json::obj()
+            .field("schema", SCHEMA_V2)
+            .field("rate_mbps_per_node", self.rate_mbps_per_node)
+            .field("architectures", Json::Arr(archs))
+            .field("figure_harnesses", Json::Arr(harnesses))
+    }
+
+    /// Parses a v2 or v1 document.
+    pub fn parse(text: &str) -> Result<BenchArtifact, String> {
+        let doc = Json::parse(text)?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("artifact has no schema")?
+            .to_string();
+        if schema != SCHEMA_V1 && schema != SCHEMA_V2 {
+            return Err(format!("unknown artifact schema {schema:?}"));
+        }
+        let rate = doc
+            .get("rate_mbps_per_node")
+            .and_then(Json::as_f64)
+            .ok_or("artifact has no rate_mbps_per_node")?;
+        let architectures = doc
+            .get("architectures")
+            .and_then(Json::as_array)
+            .ok_or("artifact has no architectures")?
+            .iter()
+            .map(|a| {
+                let arch = a
+                    .get("arch")
+                    .and_then(Json::as_str)
+                    .ok_or("architecture without name")?
+                    .to_string();
+                let cycles = a
+                    .get("cycles")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("{arch}: no cycles"))?;
+                // v2 carries the trial list; v1 carried one measurement.
+                let trials_cps = match a.get("trials_cps").and_then(Json::as_array) {
+                    Some(ts) => ts
+                        .iter()
+                        .map(|t| t.as_f64().ok_or_else(|| format!("{arch}: bad trial")))
+                        .collect::<Result<Vec<_>, _>>()?,
+                    None => vec![a
+                        .get("cycles_per_sec")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("{arch}: no cycles_per_sec"))?],
+                };
+                if trials_cps.is_empty() {
+                    return Err(format!("{arch}: empty trial list"));
+                }
+                Ok(ArchThroughput {
+                    arch,
+                    cycles,
+                    trials_cps,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let harnesses = doc
+            .get("figure_harnesses")
+            .and_then(Json::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .map(|h| {
+                let harness = h
+                    .get("harness")
+                    .and_then(Json::as_str)
+                    .ok_or("harness without name")?
+                    .to_string();
+                let args = h
+                    .get("args")
+                    .and_then(Json::as_array)
+                    .unwrap_or(&[])
+                    .iter()
+                    .filter_map(|a| a.as_str().map(str::to_string))
+                    .collect();
+                Ok(HarnessTiming {
+                    harness,
+                    args,
+                    wall_s: h.get("wall_s").and_then(Json::as_f64),
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(BenchArtifact {
+            schema,
+            rate_mbps_per_node: rate,
+            architectures,
+            harnesses,
+        })
+    }
+}
+
+/// One line of a `bench-compare` verdict.
+#[derive(Clone, Debug)]
+pub struct CompareRow {
+    /// What is being compared (arch or harness name).
+    pub name: String,
+    /// Old value (median cycles/sec, or harness wall seconds).
+    pub old: f64,
+    /// New value, same unit.
+    pub new: f64,
+    /// Relative change, sign-adjusted so positive = better.
+    pub delta: f64,
+    /// `true` when the change exceeds the noise threshold in the bad
+    /// direction.
+    pub regressed: bool,
+}
+
+/// The result of comparing two artifacts.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Noise threshold used, as a fraction.
+    pub threshold: f64,
+    /// Simulator-throughput rows (higher cycles/sec = better).
+    pub throughput: Vec<CompareRow>,
+    /// Harness wall-time rows (lower seconds = better). Only harnesses
+    /// timed in both artifacts with identical args are compared.
+    pub harness_wall: Vec<CompareRow>,
+}
+
+/// Compares two artifacts with a relative `threshold` (e.g. 0.10).
+pub fn compare(old: &BenchArtifact, new: &BenchArtifact, threshold: f64) -> Comparison {
+    let throughput = new
+        .architectures
+        .iter()
+        .filter_map(|n| {
+            let o = old.architectures.iter().find(|o| o.arch == n.arch)?;
+            let (ov, nv) = (o.median_cps(), n.median_cps());
+            Some(CompareRow {
+                name: n.arch.clone(),
+                old: ov,
+                new: nv,
+                delta: nv / ov - 1.0,
+                regressed: nv < ov * (1.0 - threshold),
+            })
+        })
+        .collect();
+    let harness_wall = new
+        .harnesses
+        .iter()
+        .filter_map(|n| {
+            let o = old
+                .harnesses
+                .iter()
+                .find(|o| o.harness == n.harness && o.args == n.args)?;
+            let (ov, nv) = (o.wall_s?, n.wall_s?);
+            Some(CompareRow {
+                name: n.harness.clone(),
+                old: ov,
+                new: nv,
+                delta: ov / nv - 1.0,
+                regressed: nv > ov * (1.0 + threshold),
+            })
+        })
+        .collect();
+    Comparison {
+        threshold,
+        throughput,
+        harness_wall,
+    }
+}
+
+impl Comparison {
+    /// `true` when any row regressed beyond the threshold.
+    pub fn regressed(&self) -> bool {
+        self.throughput
+            .iter()
+            .chain(&self.harness_wall)
+            .any(|r| r.regressed)
+    }
+
+    /// The human-readable comparison.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let section = |title: &str, unit: &str, rows: &[CompareRow], out: &mut String| {
+            if rows.is_empty() {
+                return;
+            }
+            let mut t = crate::Table::new(title, &["name", "old", "new", "change", "verdict"]);
+            for r in rows {
+                t.row([
+                    r.name.clone(),
+                    format!("{:.1}{unit}", r.old),
+                    format!("{:.1}{unit}", r.new),
+                    format!("{:+.1}%", r.delta * 100.0),
+                    if r.regressed { "REGRESSED" } else { "ok" }.to_string(),
+                ]);
+            }
+            let _ = writeln!(out, "{t}");
+        };
+        section(
+            "Simulator throughput (median cycles/sec; positive = faster)",
+            "",
+            &self.throughput,
+            &mut out,
+        );
+        section(
+            "Harness wall time (seconds; positive = faster)",
+            "s",
+            &self.harness_wall,
+            &mut out,
+        );
+        let _ = writeln!(
+            out,
+            "noise threshold: {:.0}%  ->  {}",
+            self.threshold * 100.0,
+            if self.regressed() {
+                "PERFORMANCE REGRESSION"
+            } else {
+                "no regression"
+            }
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(cps: &[(&str, &[f64])], walls: &[(&str, Option<f64>)]) -> BenchArtifact {
+        BenchArtifact {
+            schema: SCHEMA_V2.to_string(),
+            rate_mbps_per_node: 2_000.0,
+            architectures: cps
+                .iter()
+                .map(|(a, ts)| ArchThroughput {
+                    arch: a.to_string(),
+                    cycles: 9_000,
+                    trials_cps: ts.to_vec(),
+                })
+                .collect(),
+            harnesses: walls
+                .iter()
+                .map(|(h, w)| HarnessTiming {
+                    harness: h.to_string(),
+                    args: vec!["--quick".to_string()],
+                    wall_s: *w,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn v2_round_trips() {
+        let a = artifact(
+            &[("NoX", &[40_000.0, 44_000.0, 42_000.0])],
+            &[("fig8", Some(61.0)), ("cmesh", None)],
+        );
+        let b = BenchArtifact::parse(&a.to_json().to_string()).unwrap();
+        assert_eq!(b.schema, SCHEMA_V2);
+        assert_eq!(b.architectures[0].trials_cps.len(), 3);
+        assert_eq!(b.architectures[0].median_cps(), 42_000.0);
+        assert_eq!(b.harnesses[1].wall_s, None);
+    }
+
+    #[test]
+    fn median_min_spread() {
+        let a = ArchThroughput {
+            arch: "NoX".into(),
+            cycles: 1,
+            trials_cps: vec![50.0, 40.0, 44.0, 46.0, 42.0],
+        };
+        assert_eq!(a.median_cps(), 44.0);
+        assert_eq!(a.min_cps(), 40.0);
+        assert_eq!(a.max_cps(), 50.0);
+        assert!((a.spread() - 10.0 / 44.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parses_v1_documents() {
+        let v1 = r#"{
+          "schema": "nox-bench/sim-throughput/v1",
+          "rate_mbps_per_node": 2000,
+          "architectures": [
+            {"arch": "NoX", "cycles": 9887, "wall_s": 0.22, "cycles_per_sec": 43456.6}
+          ],
+          "figure_harnesses": [
+            {"harness": "fig8", "args": ["--quick"], "wall_s": 60.9}
+          ]
+        }"#;
+        let a = BenchArtifact::parse(v1).unwrap();
+        assert_eq!(a.architectures[0].trials_cps, vec![43456.6]);
+        assert_eq!(a.architectures[0].median_cps(), 43456.6);
+        assert_eq!(a.harnesses[0].wall_s, Some(60.9));
+    }
+
+    #[test]
+    fn compare_flags_only_real_regressions() {
+        let old = artifact(
+            &[("NoX", &[40_000.0]), ("Spec-Fast", &[30_000.0])],
+            &[("fig8", Some(60.0))],
+        );
+        // NoX 5% slower (noise), Spec-Fast 50% slower (regression),
+        // fig8 30% slower wall (regression).
+        let new = artifact(
+            &[("NoX", &[38_000.0]), ("Spec-Fast", &[15_000.0])],
+            &[("fig8", Some(78.0))],
+        );
+        let c = compare(&old, &new, DEFAULT_NOISE_THRESHOLD);
+        assert!(!c.throughput[0].regressed);
+        assert!(c.throughput[1].regressed);
+        assert!(c.harness_wall[0].regressed);
+        assert!(c.regressed());
+
+        let same = compare(&old, &old, DEFAULT_NOISE_THRESHOLD);
+        assert!(!same.regressed());
+    }
+
+    #[test]
+    fn rejects_malformed_artifacts() {
+        assert!(BenchArtifact::parse("{}").is_err());
+        assert!(BenchArtifact::parse(r#"{"schema": "bogus/v9"}"#).is_err());
+    }
+}

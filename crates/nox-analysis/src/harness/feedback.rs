@@ -1,0 +1,172 @@
+//! Tests the paper's §5.2 conjecture: "these latency results are
+//! conservative due to our trace-based methodology and the self-throttling
+//! nature of interconnection networks ... allowing network feedback would
+//! result in higher contention favoring the NoX router."
+//!
+//! Runs the closed-loop CMP driver (bounded MSHRs, think times) on every
+//! router architecture: each core can only issue a new miss after earlier
+//! replies return, so a lower-latency network completes more misses per
+//! nanosecond. Miss throughput becomes the end-to-end performance metric
+//! the trace methodology cannot measure.
+
+use std::fmt::Write as _;
+
+use crate::harness::Tier;
+use crate::json::Json;
+use crate::Table;
+use nox_sim::config::{Arch, NetConfig};
+use nox_traffic::closed_loop::{run_closed_loop, ClosedLoopConfig};
+use nox_traffic::cmp::workload;
+
+/// Versioned schema of the `--json` document.
+pub const SCHEMA: &str = "nox-bench/feedback/v1";
+
+/// One architecture's closed-loop measurement on one workload.
+#[derive(Clone, Debug)]
+pub struct FeedbackRow {
+    /// Router architecture.
+    pub arch: Arch,
+    /// Mean miss latency, nanoseconds.
+    pub miss_latency_ns: f64,
+    /// Completed misses per nanosecond, all cores.
+    pub miss_throughput_per_ns: f64,
+}
+
+/// One workload's closed-loop table.
+#[derive(Clone, Debug)]
+pub struct FeedbackWorkload {
+    /// Workload name (`ocean`, `tpcc`).
+    pub name: &'static str,
+    /// One row per architecture, `Arch::ALL` order.
+    pub rows: Vec<FeedbackRow>,
+}
+
+impl FeedbackWorkload {
+    /// NoX's miss throughput.
+    pub fn nox_throughput(&self) -> f64 {
+        self.rows
+            .iter()
+            .find(|r| r.arch == Arch::Nox)
+            .expect("all archs present")
+            .miss_throughput_per_ns
+    }
+}
+
+/// The §5.2 feedback result.
+#[derive(Clone, Debug)]
+pub struct FeedbackResult {
+    /// Tier the study ran at.
+    pub tier: Tier,
+    /// Driver configuration used.
+    pub config: ClosedLoopConfig,
+    /// The per-workload tables.
+    pub workloads: Vec<FeedbackWorkload>,
+}
+
+/// Runs the closed-loop study at `tier`.
+pub fn run(tier: Tier) -> FeedbackResult {
+    let config = ClosedLoopConfig {
+        mshrs: 8,
+        think_ns: 4.0,
+        warmup_cycles: 3_000,
+        measure_cycles: match tier {
+            Tier::Full | Tier::Quick => 20_000,
+            Tier::Smoke => 6_000,
+        },
+        seed: 0xC10,
+    };
+    let workloads = ["ocean", "tpcc"]
+        .into_iter()
+        .map(|name| {
+            let w = workload(name).expect("known workload");
+            let rows = Arch::ALL
+                .iter()
+                .map(|&arch| {
+                    let r = run_closed_loop(NetConfig::paper(arch), w, &config);
+                    FeedbackRow {
+                        arch,
+                        miss_latency_ns: r.miss_latency_ns.mean(),
+                        miss_throughput_per_ns: r.miss_throughput_per_ns,
+                    }
+                })
+                .collect();
+            FeedbackWorkload { name, rows }
+        })
+        .collect();
+    FeedbackResult {
+        tier,
+        config,
+        workloads,
+    }
+}
+
+impl FeedbackResult {
+    /// The per-workload tables and the §5.2 takeaway.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for w in &self.workloads {
+            let mut t = Table::new(
+                format!(
+                    "closed-loop {}: {} MSHRs/core, {} ns think time",
+                    w.name, self.config.mshrs, self.config.think_ns
+                ),
+                &[
+                    "architecture",
+                    "miss latency (ns)",
+                    "misses/us (all cores)",
+                    "vs NoX",
+                ],
+            );
+            let nox_tp = w.nox_throughput();
+            for r in &w.rows {
+                t.row([
+                    r.arch.name().to_string(),
+                    format!("{:.2}", r.miss_latency_ns),
+                    format!("{:.1}", r.miss_throughput_per_ns * 1_000.0),
+                    format!("{:+.1}%", (r.miss_throughput_per_ns / nox_tp - 1.0) * 100.0),
+                ]);
+            }
+            let _ = writeln!(out, "{t}");
+        }
+        out.push_str(
+            "With feedback, network latency feeds straight back into issue rate.\n\
+             On the control-heavy commercial workload (tpcc) NoX leads everyone,\n\
+             with the gaps wider than the open-loop Figure 10 — §5.2's prediction.\n\
+             On the data-fill-heavy scientific workload (ocean) the 9-flit reply\n\
+             network dominates and Spec-Accurate's shorter clock keeps it level.\n",
+        );
+        out
+    }
+
+    /// The versioned machine-readable document.
+    pub fn to_json(&self) -> Json {
+        let workloads = self
+            .workloads
+            .iter()
+            .map(|w| {
+                let nox_tp = w.nox_throughput();
+                let rows = w
+                    .rows
+                    .iter()
+                    .map(|r| {
+                        Json::obj()
+                            .field("arch", r.arch.name())
+                            .field("miss_latency_ns", r.miss_latency_ns)
+                            .field("misses_per_us", r.miss_throughput_per_ns * 1_000.0)
+                            .field("vs_nox", r.miss_throughput_per_ns / nox_tp - 1.0)
+                    })
+                    .collect::<Vec<_>>();
+                Json::obj()
+                    .field("workload", w.name)
+                    .field("results", Json::Arr(rows))
+            })
+            .collect::<Vec<_>>();
+        Json::obj()
+            .field("schema", SCHEMA)
+            .field("tier", self.tier.name())
+            .field("mshrs", self.config.mshrs as u64)
+            .field("think_ns", self.config.think_ns)
+            .field("measure_cycles", self.config.measure_cycles)
+            .field("workloads", Json::Arr(workloads))
+    }
+}

@@ -1,0 +1,199 @@
+//! Figure 12 — total network dynamic power for 2 GB/s/node single-flit
+//! uniform random traffic — split by component. Spec-Fast is omitted
+//! exactly as in the paper ("not shown due to its low saturation
+//! bandwidth": 2 GB/s/node is at/beyond its saturation point).
+
+use std::fmt::Write as _;
+
+use crate::harness::Tier;
+use crate::json::Json;
+use crate::Table;
+use nox_power::energy::EnergyModel;
+use nox_power::EnergyBreakdown;
+use nox_sim::config::{Arch, NetConfig};
+use nox_sim::sim::{run as sim_run, RunSpec};
+use nox_sim::topology::Mesh;
+use nox_traffic::synthetic::{generate, SyntheticConfig};
+
+/// Versioned schema of the `--json` document.
+pub const SCHEMA: &str = "nox-bench/fig12/v1";
+
+/// The offered load of the study, MB/s per node (2 GB/s/node).
+pub const RATE_MBPS: f64 = 2_000.0;
+
+/// One architecture's power breakdown at the study's operating point.
+#[derive(Clone, Debug)]
+pub struct PowerRow {
+    /// Router architecture.
+    pub arch: Arch,
+    /// Event-energy breakdown over the measurement window.
+    pub breakdown: EnergyBreakdown,
+    /// Measurement window, nanoseconds.
+    pub window_ns: f64,
+}
+
+/// The Figure 12 result.
+#[derive(Clone, Debug)]
+pub struct PowerResult {
+    /// Tier the study ran at.
+    pub tier: Tier,
+    /// Non-Speculative, Spec-Accurate, and NoX rows (paper order).
+    pub rows: Vec<PowerRow>,
+}
+
+/// Runs the power study at `tier`.
+pub fn run(tier: Tier) -> PowerResult {
+    let mesh = Mesh::new(8, 8);
+    let (duration_ns, spec) = match tier {
+        Tier::Full | Tier::Quick => (
+            40_000.0,
+            RunSpec {
+                warmup_ns: 1_500.0,
+                measure_ns: 8_000.0,
+                drain_ns: 30_000.0,
+            },
+        ),
+        Tier::Smoke => (
+            15_000.0,
+            RunSpec {
+                warmup_ns: 1_000.0,
+                measure_ns: 4_000.0,
+                drain_ns: 15_000.0,
+            },
+        ),
+    };
+    let trace = generate(mesh, &SyntheticConfig::uniform(RATE_MBPS, duration_ns));
+    let rows = [Arch::NonSpec, Arch::SpecAccurate, Arch::Nox]
+        .into_iter()
+        .map(|arch| {
+            let r = sim_run(NetConfig::paper(arch), &trace, &spec);
+            PowerRow {
+                arch,
+                breakdown: EnergyModel::for_arch(arch).breakdown(&r.window_counters),
+                window_ns: r.window_ns,
+            }
+        })
+        .collect();
+    PowerResult { tier, rows }
+}
+
+impl PowerResult {
+    /// The breakdown of one architecture.
+    pub fn row(&self, arch: Arch) -> &PowerRow {
+        self.rows
+            .iter()
+            .find(|r| r.arch == arch)
+            .unwrap_or_else(|| panic!("{arch} not in the Figure 12 study"))
+    }
+
+    /// NoX's link share of total power (the paper's ~74%).
+    pub fn nox_link_share(&self) -> f64 {
+        self.row(Arch::Nox).breakdown.link_share()
+    }
+
+    /// Spec-Accurate versus NoX for one component, as a fraction.
+    pub fn acc_vs_nox(&self, component: fn(&EnergyBreakdown) -> f64) -> f64 {
+        component(&self.row(Arch::SpecAccurate).breakdown)
+            / component(&self.row(Arch::Nox).breakdown)
+            - 1.0
+    }
+
+    /// The human-readable table plus the §5.3 checks.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut t = Table::new(
+            format!(
+                "Figure 12: network dynamic power (mW) @ {:.0} MB/s/node uniform random",
+                RATE_MBPS
+            ),
+            &[
+                "architecture",
+                "link",
+                "buffer",
+                "switch",
+                "arb",
+                "decode",
+                "total",
+                "link %",
+            ],
+        );
+        for r in &self.rows {
+            let (b, w) = (&r.breakdown, r.window_ns);
+            t.row([
+                r.arch.name().to_string(),
+                format!("{:.1}", b.link_pj / w),
+                format!("{:.1}", b.buffer_pj / w),
+                format!("{:.1}", b.xbar_pj / w),
+                format!("{:.1}", b.arb_pj / w),
+                format!("{:.1}", b.decode_pj / w),
+                format!("{:.1}", b.power_mw(w)),
+                format!("{:.1}", b.link_share() * 100.0),
+            ]);
+        }
+        let _ = writeln!(out, "{t}");
+
+        let nox = &self.row(Arch::Nox).breakdown;
+        let nonspec = &self.row(Arch::NonSpec).breakdown;
+        out.push_str("Checks against §5.3:\n");
+        let _ = writeln!(
+            out,
+            "  link share of total power: {:.1}% (paper: ~74%)",
+            self.nox_link_share() * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "  Spec-Accurate vs NoX link energy:   {:+.1}%  (paper: +4.6%)",
+            self.acc_vs_nox(|b| b.link_pj) * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "  Spec-Accurate vs NoX switch energy: {:+.1}%  (paper: -2.4%)",
+            self.acc_vs_nox(|b| b.xbar_pj) * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "  Spec-Accurate vs NoX total power:   {:+.1}%  (paper: +2.5%)",
+            self.acc_vs_nox(|b| b.total_pj()) * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "  non-speculative vs NoX total power: {:+.1}%  (paper: lowest of all)",
+            (nonspec.total_pj() / nox.total_pj() - 1.0) * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "  NoX decode share of total:          {:.2}%  (paper: minimal)",
+            nox.decode_pj / nox.total_pj() * 100.0
+        );
+        out
+    }
+
+    /// The versioned machine-readable document.
+    pub fn to_json(&self) -> Json {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                let (b, w) = (&r.breakdown, r.window_ns);
+                Json::obj()
+                    .field("arch", r.arch.name())
+                    .field("link_mw", b.link_pj / w)
+                    .field("buffer_mw", b.buffer_pj / w)
+                    .field("switch_mw", b.xbar_pj / w)
+                    .field("arb_mw", b.arb_pj / w)
+                    .field("decode_mw", b.decode_pj / w)
+                    .field("total_mw", b.power_mw(w))
+                    .field("link_share", b.link_share())
+            })
+            .collect::<Vec<_>>();
+        Json::obj()
+            .field("schema", SCHEMA)
+            .field("tier", self.tier.name())
+            .field("rate_mbps_per_node", RATE_MBPS)
+            .field("architectures", Json::Arr(rows))
+            .field("nox_link_share", self.nox_link_share())
+            .field("acc_vs_nox_link", self.acc_vs_nox(|b| b.link_pj))
+            .field("acc_vs_nox_switch", self.acc_vs_nox(|b| b.xbar_pj))
+            .field("acc_vs_nox_total", self.acc_vs_nox(|b| b.total_pj()))
+    }
+}

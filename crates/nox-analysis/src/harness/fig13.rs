@@ -1,0 +1,97 @@
+//! Figure 13 / §6.2 — router floorplans and the NoX area penalty — from
+//! the parametric floorplan model.
+
+use std::fmt::Write as _;
+
+use crate::harness::Tier;
+use crate::json::Json;
+use nox_power::area::{Floorplan, CELL_HEIGHT_UM, NOX_EXTRA_WIDTH_UM};
+
+/// Versioned schema of the `--json` document.
+pub const SCHEMA: &str = "nox-bench/fig13_area/v1";
+
+/// The Figure 13 result.
+#[derive(Clone, Debug)]
+pub struct AreaResult {
+    /// Standard cell height, micrometres (paper: 2.52 um).
+    pub cell_height_um: f64,
+    /// NoX's extra horizontal length, micrometres (paper: 28.2 um).
+    pub extra_width_um: f64,
+    /// NoX router tile area penalty as a fraction (paper: 0.172).
+    pub area_penalty: f64,
+    /// Baseline floorplan report.
+    pub baseline_report: String,
+    /// NoX floorplan report.
+    pub nox_report: String,
+}
+
+/// Derives the floorplans and penalty from the area model.
+pub fn run(_tier: Tier) -> AreaResult {
+    let base = Floorplan::baseline();
+    let nox = Floorplan::nox();
+    AreaResult {
+        cell_height_um: CELL_HEIGHT_UM,
+        extra_width_um: nox.width_um() - base.width_um(),
+        area_penalty: nox.overhead_vs_baseline(),
+        baseline_report: base.report(),
+        nox_report: nox.report(),
+    }
+}
+
+impl AreaResult {
+    /// `true` when the model sits on the paper's anchors (extra width
+    /// exactly [`NOX_EXTRA_WIDTH_UM`], penalty within 0.5pp of 17.2%).
+    pub fn matches_paper(&self) -> bool {
+        (self.extra_width_um - NOX_EXTRA_WIDTH_UM).abs() < 1e-9
+            && (self.area_penalty - 0.172).abs() < 0.005
+    }
+
+    /// The floorplan reports and paper comparison.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Baseline router floorplan (non-speculative / Spec-Fast / Spec-Accurate):\n");
+        out.push_str(&self.baseline_report);
+        out.push('\n');
+        out.push_str("NoX router floorplan:\n");
+        out.push_str(&self.nox_report);
+        out.push('\n');
+        let _ = writeln!(
+            out,
+            "Standard cell height: {} um (paper: 2.52 um)",
+            self.cell_height_um
+        );
+        let _ = writeln!(
+            out,
+            "NoX extra horizontal length: {:.1} um (paper: 28.2 um)",
+            self.extra_width_um
+        );
+        let _ = writeln!(
+            out,
+            "NoX router tile area penalty: {:.1}% (paper: 17.2%)",
+            self.area_penalty * 100.0
+        );
+        out.push_str("\nAllocation, abort, and route-computation logic fits in the spare\n");
+        out.push_str("corner and does not change either envelope (§6.2).\n");
+        out
+    }
+
+    /// The versioned machine-readable document.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("schema", SCHEMA)
+            .field("cell_height_um", self.cell_height_um)
+            .field("extra_width_um", self.extra_width_um)
+            .field("area_penalty", self.area_penalty)
+            .field("matches_paper", self.matches_paper())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_model_matches_paper_anchors() {
+        assert!(run(Tier::Quick).matches_paper());
+    }
+}

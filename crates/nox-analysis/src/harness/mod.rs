@@ -1,0 +1,135 @@
+//! Library implementations of every figure/table harness.
+//!
+//! Each submodule owns the *computation* behind one `nox-bench` binary
+//! and returns a structured result type with three views:
+//!
+//! * `run(tier)` — execute the study at a [`Tier`] and return the typed
+//!   result;
+//! * `render()` — the human-readable tables the binary has always
+//!   printed;
+//! * `to_json()` — the same numbers on a versioned machine-readable
+//!   schema (`nox-bench/<harness>/v1`).
+//!
+//! The binaries in `crates/bench/src/bin` are thin renderers over these
+//! functions, and the claims registry ([`crate::claims`]) evaluates the
+//! paper's headline claims against the same typed results — so the
+//! table a human reads, the `--json` a tool consumes, and the
+//! conformance verdict CI gates on can never drift apart.
+//!
+//! Figures that share their underlying runs share a study type:
+//! [`synthetic::SyntheticStudy`] feeds both Figure 8 (latency) and
+//! Figure 9 (ED²), and [`appstudy::AppStudy`] feeds both Figure 10
+//! (latency) and Figure 11 (ED²), so a claims evaluation pays for the
+//! expensive sweeps exactly once.
+
+pub mod ablation;
+pub mod appstudy;
+pub mod cmesh;
+pub mod feedback;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig8;
+pub mod fig9;
+pub mod figs237;
+pub mod synthetic;
+pub mod table1;
+pub mod table2;
+
+/// How much simulation to spend on a harness run.
+///
+/// `Full` regenerates the EXPERIMENTS.md numbers, `Quick` coarsens the
+/// sweeps (the historical `--quick` flag), and `Smoke` additionally
+/// shortens warmup/measurement windows so the whole claims registry
+/// finishes in well under a minute for CI.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tier {
+    /// Paper-resolution sweeps (EXPERIMENTS.md numbers).
+    Full,
+    /// Coarser rate grid, full measurement windows (`--quick`).
+    Quick,
+    /// Coarse grid *and* short windows (`--smoke`), for CI gating.
+    Smoke,
+}
+
+impl Tier {
+    /// The tier's canonical name (`full` / `quick` / `smoke`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Full => "full",
+            Tier::Quick => "quick",
+            Tier::Smoke => "smoke",
+        }
+    }
+
+    /// Parses a tier name.
+    pub fn parse(name: &str) -> Option<Tier> {
+        match name {
+            "full" => Some(Tier::Full),
+            "quick" => Some(Tier::Quick),
+            "smoke" => Some(Tier::Smoke),
+            _ => None,
+        }
+    }
+}
+
+/// Command-line contract shared by every harness binary: `--quick` and
+/// `--smoke` select the tier (smoke wins if both appear; default full)
+/// and `--json` selects machine-readable output.
+#[derive(Clone, Copy, Debug)]
+pub struct HarnessArgs {
+    /// Selected tier.
+    pub tier: Tier,
+    /// Emit the versioned JSON document instead of tables.
+    pub json: bool,
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args()`-style arguments.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> HarnessArgs {
+        let mut tier = Tier::Full;
+        let mut json = false;
+        for a in args {
+            match a.as_str() {
+                "--quick" if tier == Tier::Full => tier = Tier::Quick,
+                "--smoke" => tier = Tier::Smoke,
+                "--json" => json = true,
+                _ => {}
+            }
+        }
+        HarnessArgs { tier, json }
+    }
+
+    /// Parses the process arguments (skipping the binary name).
+    pub fn from_env() -> HarnessArgs {
+        HarnessArgs::parse(std::env::args().skip(1))
+    }
+}
+
+/// The display names of the four architectures, in `Arch::ALL` order —
+/// the column order every table in the paper uses.
+pub const ARCH_COLUMNS: [&str; 4] = ["Non-Spec", "Spec-Fast", "Spec-Acc", "NoX"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_names_round_trip() {
+        for t in [Tier::Full, Tier::Quick, Tier::Smoke] {
+            assert_eq!(Tier::parse(t.name()), Some(t));
+        }
+        assert_eq!(Tier::parse("bogus"), None);
+    }
+
+    #[test]
+    fn smoke_outranks_quick() {
+        let args = |v: &[&str]| HarnessArgs::parse(v.iter().map(|s| s.to_string()));
+        assert_eq!(args(&["--quick", "--smoke"]).tier, Tier::Smoke);
+        assert_eq!(args(&["--smoke", "--quick"]).tier, Tier::Smoke);
+        assert_eq!(args(&["--quick"]).tier, Tier::Quick);
+        assert_eq!(args(&[]).tier, Tier::Full);
+        assert!(args(&["--json"]).json);
+    }
+}

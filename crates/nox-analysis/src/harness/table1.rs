@@ -1,0 +1,93 @@
+//! Table 1 — common system parameters — regenerated from the live
+//! configuration types, so any drift between code and paper shows up
+//! here.
+
+use crate::harness::Tier;
+use crate::json::Json;
+use crate::Table;
+use nox_sim::config::{Arch, NetConfig};
+use nox_traffic::cmp::{CTRL_FLITS, DATA_FLITS};
+
+/// Versioned schema of the `--json` document.
+pub const SCHEMA: &str = "nox-bench/table1/v1";
+
+/// The Table 1 result: parameter/value pairs.
+#[derive(Clone, Debug)]
+pub struct Table1Result {
+    /// `(parameter, value)` rows in the paper's order.
+    pub rows: Vec<(&'static str, String)>,
+}
+
+/// Builds the parameter table from the live configuration.
+pub fn run(_tier: Tier) -> Table1Result {
+    let cfg = NetConfig::paper(Arch::Nox);
+    let rows = vec![
+        ("Cores", cfg.nodes().to_string()),
+        ("Topology", format!("{}x{} mesh", cfg.width, cfg.height)),
+        (
+            "Processor",
+            "3GHz in-order PowerPC (trace synthesizer model)".to_string(),
+        ),
+        (
+            "L1 I/D Caches",
+            "32KB, 2-way set associative (modeled via miss rates)".to_string(),
+        ),
+        (
+            "L2 Cache",
+            "256KB, 8-way set associative (modeled via home nodes)".to_string(),
+        ),
+        ("Cache Line Size", "64-bytes".to_string()),
+        (
+            "Memory Latency",
+            "100 cycles (folded into workload service_ns)".to_string(),
+        ),
+        (
+            "Interconnect",
+            format!(
+                "{}-bit request, {}-bit reply network",
+                cfg.flit_bytes * 8,
+                cfg.flit_bytes * 8
+            ),
+        ),
+        (
+            "Packet Sizes",
+            format!(
+                "{} byte control ({} flit), {} byte data ({} flits)",
+                CTRL_FLITS as u32 * cfg.flit_bytes,
+                CTRL_FLITS,
+                DATA_FLITS as u32 * cfg.flit_bytes,
+                DATA_FLITS
+            ),
+        ),
+        (
+            "Buffer Depth",
+            format!("{} 64-bit entries/port", cfg.buffer_depth),
+        ),
+        ("Channel Length", "2mm".to_string()),
+        ("Routing Algorithm", "Dimension Ordered Routing".to_string()),
+    ];
+    Table1Result { rows }
+}
+
+impl Table1Result {
+    /// The human-readable table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new("Table 1: Common System Parameters", &["Parameter", "Value"]);
+        for (k, v) in &self.rows {
+            t.row([k.to_string(), v.clone()]);
+        }
+        format!("{t}")
+    }
+
+    /// The versioned machine-readable document.
+    pub fn to_json(&self) -> Json {
+        let rows = self
+            .rows
+            .iter()
+            .map(|(k, v)| Json::obj().field("parameter", *k).field("value", v.clone()))
+            .collect::<Vec<_>>();
+        Json::obj()
+            .field("schema", SCHEMA)
+            .field("parameters", Json::Arr(rows))
+    }
+}

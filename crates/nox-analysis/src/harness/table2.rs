@@ -1,0 +1,155 @@
+//! Table 2 — router clock periods — from the logical-effort timing
+//! model, with the per-block critical-path breakdown and the comparison
+//! against the published numbers.
+
+use std::fmt::Write as _;
+
+use crate::harness::Tier;
+use crate::json::Json;
+use crate::Table;
+use nox_power::timing::CriticalPath;
+use nox_sim::config::Arch;
+
+/// Versioned schema of the `--json` document.
+pub const SCHEMA: &str = "nox-bench/table2/v1";
+
+/// One architecture's clock-period row.
+#[derive(Clone, Debug)]
+pub struct ClockRow {
+    /// Router architecture.
+    pub arch: Arch,
+    /// Modeled Table 2 period, picoseconds.
+    pub modeled_ps: f64,
+    /// The paper's published period, picoseconds.
+    pub paper_ps: f64,
+    /// Critical-path breakdown report (per block).
+    pub breakdown: String,
+}
+
+/// The Table 2 result.
+#[derive(Clone, Debug)]
+pub struct Table2Result {
+    /// One row per architecture, `Arch::ALL` order.
+    pub rows: Vec<ClockRow>,
+    /// NoX decode overhead over Spec-Accurate, picoseconds.
+    pub decode_overhead_ps: f64,
+}
+
+/// Derives the clock periods from the logical-effort model.
+pub fn run(_tier: Tier) -> Table2Result {
+    let rows = Arch::ALL
+        .iter()
+        .map(|&arch| {
+            let path = CriticalPath::new(arch);
+            ClockRow {
+                arch,
+                modeled_ps: path.period_table2_ps() as f64,
+                paper_ps: arch.clock_ps() as f64,
+                breakdown: path.report(),
+            }
+        })
+        .collect();
+    let decode_overhead_ps = CriticalPath::new(Arch::Nox).period_ps()
+        - CriticalPath::new(Arch::SpecAccurate).period_ps();
+    Table2Result {
+        rows,
+        decode_overhead_ps,
+    }
+}
+
+impl Table2Result {
+    /// `true` when every modeled period equals the published one.
+    pub fn all_match(&self) -> bool {
+        self.rows.iter().all(|r| r.modeled_ps == r.paper_ps)
+    }
+
+    /// Clock speedup of `arch` versus the non-speculative router, as a
+    /// fraction (+0.21 = 21% faster clock).
+    pub fn speedup_vs_nonspec(&self, arch: Arch) -> f64 {
+        let period = |a: Arch| {
+            self.rows
+                .iter()
+                .find(|r| r.arch == a)
+                .expect("all archs present")
+                .modeled_ps
+        };
+        period(Arch::NonSpec) / period(arch) - 1.0
+    }
+
+    /// The critical paths, comparison table, and prose checks.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Critical paths (logical-effort model, 65 nm-class process):\n\n");
+        for r in &self.rows {
+            let _ = writeln!(out, "{}:", r.arch.name());
+            out.push_str(&r.breakdown);
+            out.push('\n');
+        }
+
+        let mut t = Table::new(
+            "Table 2: Router Clock Periods",
+            &["Architecture", "modeled (ns)", "paper (ns)", "match"],
+        );
+        for r in &self.rows {
+            t.row([
+                r.arch.name().to_string(),
+                format!("{:.2}", r.modeled_ps / 1000.0),
+                format!("{:.2}", r.paper_ps / 1000.0),
+                if r.modeled_ps == r.paper_ps {
+                    "yes"
+                } else {
+                    "NO"
+                }
+                .to_string(),
+            ]);
+        }
+        let _ = writeln!(out, "{t}");
+
+        let _ = writeln!(
+            out,
+            "NoX decode overhead over Spec-Accurate: {:.0} ps (paper: ~40 ps)",
+            self.decode_overhead_ps
+        );
+        let _ = writeln!(
+            out,
+            "Clock speedups vs non-speculative: Spec-Fast {:.1}%, Spec-Accurate {:.1}%, NoX {:.1}% \
+             (paper: 33.3%, 27.8%, 21.1%)",
+            self.speedup_vs_nonspec(Arch::SpecFast) * 100.0,
+            self.speedup_vs_nonspec(Arch::SpecAccurate) * 100.0,
+            self.speedup_vs_nonspec(Arch::Nox) * 100.0,
+        );
+        out
+    }
+
+    /// The versioned machine-readable document.
+    pub fn to_json(&self) -> Json {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .field("arch", r.arch.name())
+                    .field("modeled_ps", r.modeled_ps)
+                    .field("paper_ps", r.paper_ps)
+                    .field("match", r.modeled_ps == r.paper_ps)
+            })
+            .collect::<Vec<_>>();
+        Json::obj()
+            .field("schema", SCHEMA)
+            .field("all_match", self.all_match())
+            .field("decode_overhead_ps", self.decode_overhead_ps)
+            .field("clocks", Json::Arr(rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_model_matches_table2() {
+        let r = run(Tier::Quick);
+        assert!(r.all_match(), "timing model diverged from Table 2");
+        assert!((r.decode_overhead_ps - 40.0).abs() < 10.0);
+    }
+}

@@ -51,10 +51,14 @@
 
 pub mod chrome;
 pub mod heatmap;
-pub mod json;
 pub mod profile;
 pub mod report;
 pub mod waveform;
+
+/// The workspace-wide JSON value type (builder + parser), re-exported
+/// from `nox-analysis` so probe reports share one serializer with the
+/// harness `--json` outputs, the claims report, and the perf artifact.
+pub use nox_analysis::json;
 
 use std::time::Instant;
 

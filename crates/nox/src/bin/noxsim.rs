@@ -11,6 +11,9 @@
 //!                [--wave NODE] [--chrome FILE]
 //! noxsim heatmap [--arch A] [--rate MBPS] [--pattern P] [--len N] [--cmesh]
 //! noxsim verify  [--quick]
+//! noxsim claims  [--quick|--smoke|--full] [--out FILE] [--baseline FILE]
+//!                [--update-baseline]
+//! noxsim bench-compare OLD.json NEW.json [--threshold PCT]
 //! noxsim info
 //! ```
 //!
@@ -36,7 +39,19 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::FAILURE;
     };
-    let opts = match parse_opts(rest) {
+    // `bench-compare` takes positional artifact paths ahead of its flags;
+    // every other command is flags-only (parse_opts rejects bare args).
+    let (positional, flags) = match cmd.as_str() {
+        "bench-compare" => {
+            let n = rest
+                .iter()
+                .position(|a| a.starts_with("--"))
+                .unwrap_or(rest.len());
+            rest.split_at(n)
+        }
+        _ => rest.split_at(0),
+    };
+    let opts = match parse_opts(flags) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
@@ -51,6 +66,8 @@ fn main() -> ExitCode {
         "replay" => cmd_replay(&opts),
         "heatmap" => cmd_heatmap(&opts),
         "verify" => cmd_verify(&opts),
+        "claims" => cmd_claims(&opts),
+        "bench-compare" => cmd_bench_compare(positional, &opts),
         "info" => cmd_info(),
         "help" | "--help" | "-h" => {
             usage();
@@ -79,6 +96,8 @@ fn usage() {
            replay   run a trace file through a network\n\
            heatmap  per-router utilization/occupancy grids (needs --features probe)\n\
            verify   model-check invariants + sanitized sweep (--quick: fast CI bounds)\n\
+           claims   evaluate the paper-conformance registry and diff CLAIMS_BASELINE.json (--smoke/--full tiers, --update-baseline re-pins)\n\
+           bench-compare OLD.json NEW.json  diff two perf artifacts (--threshold PCT, default 10)\n\
            info     clock periods, area, configuration summary\n\
          \n\
          common flags: --arch all|nonspec|fast|acc|nox   --cmesh   --csv\n\
@@ -103,7 +122,10 @@ fn parse_opts(rest: &[String]) -> Result<Opts, String> {
             return Err(format!("expected a --flag, got {flag:?}"));
         };
         // Boolean flags take no value.
-        if matches!(name, "csv" | "cmesh" | "quick" | "probe") {
+        if matches!(
+            name,
+            "csv" | "cmesh" | "quick" | "smoke" | "full" | "probe" | "update-baseline"
+        ) {
             opts.insert(name.to_string(), "true".into());
             continue;
         }
@@ -657,6 +679,109 @@ fn sanitized_smoke(opts: &Opts) -> Result<(), String> {
 #[cfg(not(feature = "sanitize"))]
 fn sanitized_smoke(_opts: &Opts) -> Result<(), String> {
     println!("sanitized sweep skipped: built without the `sanitize` feature");
+    Ok(())
+}
+
+/// Evaluates the full conformance-claim registry (EXPERIMENTS.md as
+/// code), writes the versioned report, and diffs it against the
+/// committed baseline — nonzero exit on any status regression.
+fn cmd_claims(opts: &Opts) -> Result<(), String> {
+    use nox::analysis::claims::{evaluate, Baseline, ClaimInputs};
+    use nox::analysis::Tier;
+
+    let tier = if opts.contains_key("smoke") {
+        Tier::Smoke
+    } else if opts.contains_key("full") {
+        Tier::Full
+    } else {
+        Tier::Quick
+    };
+    eprintln!(
+        "gathering claim inputs at the {} tier (timing, synthetic sweeps, apps, power, area)...",
+        tier.name()
+    );
+    let report = evaluate(&ClaimInputs::gather(tier));
+    print!("{}", report.render());
+
+    let out = opts
+        .get("out")
+        .map(String::as_str)
+        .unwrap_or("claims_report.json");
+    std::fs::write(out, format!("{}\n", report.to_json()))
+        .map_err(|e| format!("could not write {out}: {e}"))?;
+    println!("wrote {out}");
+
+    let baseline_path = opts
+        .get("baseline")
+        .map(String::as_str)
+        .unwrap_or("CLAIMS_BASELINE.json");
+    if opts.contains_key("update-baseline") {
+        std::fs::write(baseline_path, format!("{}\n", report.baseline_json()))
+            .map_err(|e| format!("could not write {baseline_path}: {e}"))?;
+        println!("pinned current statuses to {baseline_path}");
+        return Ok(());
+    }
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(_) => {
+            println!("no baseline at {baseline_path}; run with --update-baseline to pin one");
+            return Ok(());
+        }
+    };
+    let baseline = Baseline::parse(&text).map_err(|e| format!("{baseline_path}: {e}"))?;
+    for (id, pinned, current) in baseline.improvements(&report) {
+        println!(
+            "improved   {id}: {} -> {} (consider re-pinning with --update-baseline)",
+            pinned.name(),
+            current.name()
+        );
+    }
+    let regressions = baseline.regressions(&report);
+    for r in &regressions {
+        match r.current {
+            Some(c) => println!("REGRESSION {}: {} -> {}", r.id, r.baseline.name(), c.name()),
+            None => println!(
+                "REGRESSION {}: pinned {} but no longer evaluated",
+                r.id,
+                r.baseline.name()
+            ),
+        }
+    }
+    if !regressions.is_empty() {
+        return Err(format!(
+            "{} conformance regression(s) vs {baseline_path}",
+            regressions.len()
+        ));
+    }
+    println!("conformance matches {baseline_path}: no claim fell below its pinned status");
+    Ok(())
+}
+
+/// Diffs two `BENCH_sim_throughput.json` artifacts — nonzero exit when
+/// simulator throughput or harness wall time regressed beyond the noise
+/// threshold.
+fn cmd_bench_compare(paths: &[String], opts: &Opts) -> Result<(), String> {
+    use nox::analysis::bench_artifact::{compare, BenchArtifact, DEFAULT_NOISE_THRESHOLD};
+
+    let [old_path, new_path] = paths else {
+        return Err("bench-compare needs two artifact paths: OLD.json NEW.json".into());
+    };
+    let threshold = f64_opt(opts, "threshold", DEFAULT_NOISE_THRESHOLD * 100.0)? / 100.0;
+    if !(0.0..1.0).contains(&threshold) {
+        return Err("--threshold: want a percentage in [0, 100)".into());
+    }
+    let read = |path: &String| -> Result<BenchArtifact, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        BenchArtifact::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let cmp = compare(&read(old_path)?, &read(new_path)?, threshold);
+    print!("{}", cmp.render());
+    if cmp.regressed() {
+        return Err(format!(
+            "performance regressed beyond the {:.0}% noise threshold",
+            threshold * 100.0
+        ));
+    }
     Ok(())
 }
 
