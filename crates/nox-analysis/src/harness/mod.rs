@@ -25,6 +25,7 @@
 pub mod ablation;
 pub mod appstudy;
 pub mod cmesh;
+pub mod faults;
 pub mod feedback;
 pub mod fig10;
 pub mod fig11;

@@ -159,6 +159,19 @@ impl<T: Xor> Coded<T> {
     pub fn into_payload(self) -> T {
         self.payload
     }
+
+    /// XORs an error mask into the payload, leaving the constituent keys
+    /// untouched.
+    ///
+    /// This models a physical transmission error: the bits on the wire
+    /// change, but the simulator's ground-truth identity tracking (which
+    /// has no hardware counterpart) still knows which flits the word was
+    /// *supposed* to carry. Because decode is XOR, the mask propagates
+    /// unchanged through every later superposition — exactly the
+    /// chain-wide corruption amplification the NoX topology exhibits.
+    pub fn corrupt_payload(&mut self, mask: &T) {
+        self.payload = self.payload.xor(mask);
+    }
 }
 
 impl<T: Xor> FromIterator<Coded<T>> for Coded<T> {
@@ -239,6 +252,19 @@ mod tests {
     fn sole_key_of_encoded_is_none() {
         let ab = Coded::plain(1, 1u64).xor(&Coded::plain(2, 2u64));
         assert_eq!(ab.sole_key(), None);
+    }
+
+    #[test]
+    fn corruption_propagates_through_decode() {
+        // Corrupt the encoded word; the decoded flit inherits the mask.
+        let a = Coded::plain(1, 0xA1u64);
+        let b = Coded::plain(2, 0xB2u64);
+        let mut ab = a.xor(&b);
+        ab.corrupt_payload(&0x40u64);
+        assert_eq!(ab.keys(), &[1, 2]);
+        let decoded = ab.xor(&b);
+        assert_eq!(decoded.sole_key(), Some(1));
+        assert_eq!(*decoded.payload(), 0xA1 ^ 0x40);
     }
 
     #[test]

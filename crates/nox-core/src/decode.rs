@@ -160,6 +160,18 @@ impl<T: Xor> Decoder<T> {
         self.reg = Some(word);
     }
 
+    /// Clears the register, abandoning any partially-decoded chain, and
+    /// returns what it held.
+    ///
+    /// This is the containment action of the fault-tolerance layer
+    /// ("chain kill"): when the FSM self-check detects a desynchronized
+    /// chain — a presented word that is not one plain flit — the port
+    /// truncates the poisoned chain and restarts from scratch rather than
+    /// propagating garbage downstream.
+    pub fn reset(&mut self) -> Option<Coded<T>> {
+        self.reg.take()
+    }
+
     /// Commits a serviced presentation.
     ///
     /// `popped` carries the FIFO head for [`DecodeAction::DecodeShift`]
@@ -323,6 +335,25 @@ mod tests {
         let mut dec = Decoder::new();
         dec.latch(plain(1, 1).xor(&plain(2, 2)));
         dec.commit(DecodeAction::DecodeShift, None);
+    }
+
+    #[test]
+    fn reset_abandons_a_chain() {
+        let mut dec = Decoder::new();
+        let enc = plain(1, 1).xor(&plain(2, 2));
+        dec.latch(enc.clone());
+        assert!(dec.is_mid_chain());
+        assert_eq!(dec.reset(), Some(enc));
+        assert!(!dec.is_mid_chain());
+        assert_eq!(dec.reset(), None);
+        // The decoder is fully reusable afterwards.
+        assert_eq!(
+            dec.plan(Some(&plain(3, 3))),
+            DecodePlan::Present {
+                word: plain(3, 3),
+                action: DecodeAction::Pass,
+            }
+        );
     }
 
     #[test]

@@ -57,6 +57,7 @@ fn event_json(e: &TraceEvent, clock_ns: f64) -> Json {
             "packet",
             Json::obj().field("packet", packet.0),
         ),
+        EventKind::Fault { label } => ((*label).to_string(), "fault", Json::obj()),
     };
     Json::obj()
         .field("name", name)

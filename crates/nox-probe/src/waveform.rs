@@ -56,6 +56,7 @@ fn event_line(topo: &Topology, e: &TraceEvent) -> String {
         }
         EventKind::Latch => format!("in  {port} latch into decode register"),
         EventKind::Eject { packet } => format!("eject p{} at core", packet.0),
+        EventKind::Fault { label } => format!("fault {port}: {label}"),
     }
 }
 

@@ -46,6 +46,8 @@
 #![warn(missing_docs)]
 
 pub mod config;
+#[cfg(feature = "faults")]
+pub mod fault;
 pub mod flit;
 pub mod histogram;
 pub mod network;

@@ -18,6 +18,9 @@
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
+#[cfg(feature = "faults")]
+use crate::fault::{FaultConfig, FaultState, LinkFate, TailDelivery};
+
 use crate::config::NetConfig;
 use crate::flit::{PacketId, PacketMeta, PacketTable};
 use crate::histogram::LogHistogram;
@@ -59,6 +62,9 @@ pub struct Network {
     /// Telemetry collector, if probing is enabled.
     #[cfg(feature = "probe")]
     probe: Option<Box<crate::probe::Probe>>,
+    /// Fault-injection campaign, if one is attached.
+    #[cfg(feature = "faults")]
+    faults: Option<Box<FaultState>>,
 }
 
 impl Network {
@@ -129,6 +135,8 @@ impl Network {
             sanitize: false,
             #[cfg(feature = "probe")]
             probe: None,
+            #[cfg(feature = "faults")]
+            faults: None,
         }
     }
 
@@ -167,6 +175,62 @@ impl Network {
         self.probe.take().map(|b| *b)
     }
 
+    /// Attaches a fault-injection campaign: from the next cycle on, link
+    /// words are subject to the configured bit flips, drops, duplications,
+    /// dead links, credit corruptions, and router freezes, and every
+    /// ejection is integrity-classified (clean / CRC-detected / silent).
+    /// All packets scheduled so far, plus any injected later, are tracked
+    /// as logical packets for the end-to-end retransmission protocol.
+    ///
+    /// Attaching a campaign disables the sanitizer's conservation audits
+    /// (injected faults violate conservation by design) and replaces the
+    /// simulator's integrity panics at the sinks with counted outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`FaultConfig::validate`]).
+    #[cfg(feature = "faults")]
+    pub fn enable_faults(&mut self, cfg: FaultConfig) {
+        let mut st = FaultState::new(cfg);
+        for i in 0..self.packets.len() {
+            let id = PacketId(i as u64);
+            st.register(id, self.packets.meta(id));
+        }
+        self.faults = Some(Box::new(st));
+    }
+
+    /// The attached fault campaign's state, if any.
+    #[cfg(feature = "faults")]
+    pub fn fault_state(&self) -> Option<&FaultState> {
+        self.faults.as_deref()
+    }
+
+    /// `true` when the retransmission protocol (if any) has settled:
+    /// every logical packet is delivered or written off. `true` when no
+    /// campaign is attached.
+    #[cfg(feature = "faults")]
+    pub fn faults_settled(&self) -> bool {
+        self.faults.as_ref().is_none_or(|f| f.settled())
+    }
+
+    /// Runs until the network is quiescent *and* the fault campaign's
+    /// retransmission protocol has settled, or `max_cycles` elapse.
+    /// Returns `true` on settlement. Plain
+    /// [`run_to_quiescence`](Self::run_to_quiescence) is not sufficient
+    /// under faults: a drained network may still owe retransmissions whose
+    /// timeouts have not expired yet.
+    #[cfg(feature = "faults")]
+    pub fn run_to_settlement(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            if self.is_quiescent() && self.faults_settled() {
+                return true;
+            }
+            self.step();
+        }
+        self.is_quiescent() && self.faults_settled()
+    }
+
     /// Enables recording of `(packet, eject cycle)` pairs — useful for
     /// per-packet analyses, closed-loop drivers, and differential
     /// debugging. Off by default to keep long runs memory-light.
@@ -196,6 +260,10 @@ impl Network {
         });
         self.measured_total += u64::from(measured);
         self.sources[src.index()].schedule(id);
+        #[cfg(feature = "faults")]
+        if let Some(f) = &mut self.faults {
+            f.register(id, self.packets.meta(id));
+        }
         id
     }
 
@@ -269,20 +337,61 @@ impl Network {
             p.on_cycle_start(self.cycle);
         }
 
-        // 1a. Deliver last cycle's link words.
+        #[cfg(feature = "faults")]
+        if let Some(f) = &mut self.faults {
+            f.begin_cycle(self.cycle);
+        }
+
+        // 1a. Deliver last cycle's link words, subjecting each to the
+        // fault plan if a campaign is attached.
         let deliveries = std::mem::take(&mut self.in_flight);
-        for s in deliveries {
-            self.counters.buffer_writes += 1;
-            if self.topo.is_local(s.out) {
-                let core = self.topo.core_at(s.node, s.out);
-                self.sinks[core.index()].receive(s.word);
-            } else {
-                let (dest, inp) = self
-                    .topo
-                    .link_dest(s.node, s.out)
-                    .expect("send on an unconnected port");
-                self.routers[dest.index()].input_mut(inp).receive(s.word);
+        #[cfg(feature = "faults")]
+        {
+            let mut faults = self.faults.take();
+            for mut s in deliveries {
+                if let Some(f) = &mut faults {
+                    let (fate, flipped) = f.intercept(s.node, s.out, &mut s.word);
+                    if flipped {
+                        self.probe_fault_event(s.node, s.out, "inject bit-flip");
+                    }
+                    match fate {
+                        LinkFate::Drop => {
+                            // The word vanished in flight: its downstream
+                            // slot never fills, so the consumed credit is
+                            // returned straight to the sender's output.
+                            self.probe_fault_event(s.node, s.out, "link drop");
+                            self.credits_in_flight.push_back((
+                                self.cycle + self.cfg.credit_delay,
+                                s.node,
+                                s.out.0,
+                            ));
+                            continue;
+                        }
+                        LinkFate::DeliverTwice => {
+                            if self.fault_space_for(&s) {
+                                f.note_dup_delivered(s.node, s.out.0);
+                                self.probe_fault_event(s.node, s.out, "inject duplicate");
+                                self.deliver_word(s.clone());
+                            }
+                        }
+                        LinkFate::Deliver => {}
+                    }
+                    if !self.fault_space_for(&s) {
+                        // Phantom credits (credit corruption) let a word
+                        // arrive at a full buffer: it is dropped there,
+                        // and no credit returns for it.
+                        f.note_overflow();
+                        self.probe_fault_event(s.node, s.out, "overflow drop");
+                        continue;
+                    }
+                }
+                self.deliver_word(s);
             }
+            self.faults = faults;
+        }
+        #[cfg(not(feature = "faults"))]
+        for s in deliveries {
+            self.deliver_word(s);
         }
 
         // 1b. Deliver matured credits.
@@ -291,10 +400,20 @@ impl Network {
                 break;
             }
             self.credits_in_flight.pop_front();
-            self.routers[node.index()]
-                .output_mut(nox_core::PortId(port))
-                .return_credit(self.cfg.buffer_depth);
+            let out = self.routers[node.index()].output_mut(nox_core::PortId(port));
+            #[cfg(feature = "faults")]
+            if self.faults.is_some() {
+                // Phantom credits from injected faults can over-return;
+                // clamping keeps the loop self-balancing.
+                out.return_credit_saturating(self.cfg.buffer_depth);
+                continue;
+            }
+            out.return_credit(self.cfg.buffer_depth);
         }
+
+        // 1c. Corrupt a credit counter, if the plan says so this cycle.
+        #[cfg(feature = "faults")]
+        self.fault_credit_corruption();
 
         // 2. Sources inject, each into its core's local input port.
         for (i, src) in self.sources.iter_mut().enumerate() {
@@ -328,15 +447,37 @@ impl Network {
             {
                 ctx.probe = self.probe.as_deref_mut();
             }
+            #[cfg(feature = "faults")]
+            {
+                ctx.faults = self.faults.as_deref_mut();
+            }
             for r in &mut self.routers {
+                if ctx.fault_frozen(r.node()) {
+                    // Transient router fault: the whole router loses the
+                    // cycle (no decode, no arbitration, no link drive).
+                    continue;
+                }
                 r.tick(&mut ctx);
             }
         }
 
         // 4. Sinks drain one flit each and record latencies.
         let clock_ns = self.cfg.clock_ns();
+        #[cfg(feature = "faults")]
+        let mut faults = self.faults.take();
         for (i, sink) in self.sinks.iter_mut().enumerate() {
+            #[cfg(feature = "faults")]
+            let outcome = match &mut faults {
+                Some(f) => sink.drain_faulty(&self.packets, &mut self.counters, f),
+                None => sink.drain(&self.packets, &mut self.counters),
+            };
+            #[cfg(not(feature = "faults"))]
             let outcome = sink.drain(&self.packets, &mut self.counters);
+            #[cfg(all(feature = "faults", feature = "probe"))]
+            if let (Some(label), Some(p)) = (outcome.fault_event, &mut self.probe) {
+                let core = NodeId(i as u16);
+                p.on_fault(core, self.topo.local_port(core), label);
+            }
             if outcome.credit_freed {
                 // A freed ejection slot credits the owning router's local
                 // output port for this core.
@@ -356,6 +497,21 @@ impl Network {
             }
             if let Some(info) = outcome.consumed {
                 let expected = self.expected_seq.entry(info.packet).or_insert(0);
+                #[cfg(feature = "faults")]
+                if *expected != info.seq {
+                    if let Some(f) = &mut faults {
+                        // Upstream losses broke the flit sequence: the NIC
+                        // discards the flit; retransmission (if configured)
+                        // re-delivers the whole packet.
+                        f.note_seq_mismatch();
+                        #[cfg(feature = "probe")]
+                        if let Some(p) = &mut self.probe {
+                            let core = NodeId(i as u16);
+                            p.on_fault(core, self.topo.local_port(core), "detect sequence");
+                        }
+                        continue;
+                    }
+                }
                 assert_eq!(
                     *expected, info.seq,
                     "packet {:?} flits arrived out of order",
@@ -364,6 +520,27 @@ impl Network {
                 *expected += 1;
                 if info.tail {
                     self.expected_seq.remove(&info.packet);
+                    #[cfg(feature = "faults")]
+                    if let Some(f) = &mut faults {
+                        match f.note_tail(info.packet, self.cycle + 1) {
+                            TailDelivery::Duplicate => {
+                                // The logical packet already arrived via an
+                                // earlier attempt: discard this copy.
+                                continue;
+                            }
+                            TailDelivery::First { recovered } => {
+                                #[cfg(feature = "probe")]
+                                if recovered {
+                                    if let Some(p) = &mut self.probe {
+                                        let core = NodeId(i as u16);
+                                        p.on_fault(core, self.topo.local_port(core), "recovered");
+                                    }
+                                }
+                                #[cfg(not(feature = "probe"))]
+                                let _ = recovered;
+                            }
+                        }
+                    }
                     self.counters.packets_ejected += 1;
                     if let Some(log) = &mut self.eject_log {
                         log.push((info.packet, self.cycle + 1));
@@ -389,29 +566,36 @@ impl Network {
             }
         }
 
+        #[cfg(feature = "faults")]
+        {
+            self.faults = faults;
+            // 4b. Launch retransmissions whose timeouts expired.
+            self.fault_retx_pump();
+        }
+
         // 5. Launch this cycle's sends and schedule credits. Routers never
         // emit credit returns for local input ports (sources check buffer
         // space directly), so a local-port return here can only come from
         // a sink — a credit for the owning router's local output.
         self.in_flight = sends;
         for c in credit_returns {
-            let (owner, port) = if self.topo.is_local(c.input) {
-                (c.node, c.input)
-            } else {
-                // Input port `c.input` of router `c.node` is fed by the
-                // neighbour in that direction; the credit belongs to the
-                // neighbour's opposite output port.
-                let dir = self.topo.port_direction(c.input);
-                let upstream = self
-                    .topo
-                    .grid()
-                    .neighbor(c.node, dir)
-                    .expect("credit for an unconnected port");
-                (upstream, self.topo.direction_port(dir.opposite()))
-            };
+            let (owner, port) = self.credit_owner(&c);
+            #[cfg(feature = "faults")]
+            if let Some(f) = &mut self.faults {
+                if f.swallow_credit(owner.0, port.0) {
+                    // Annihilate the phantom credit a duplication fault
+                    // created when its second copy took an uncredited slot.
+                    continue;
+                }
+            }
             self.credits_in_flight
                 .push_back((self.cycle + self.cfg.credit_delay, owner, port.0));
         }
+
+        // 5b. Deadlock watchdog: recover the network if injected losses
+        // wedged a control engine (e.g. a reservation whose tail died).
+        #[cfg(feature = "faults")]
+        self.fault_watchdog();
 
         // End-of-cycle telemetry: this cycle's launched words, buffer
         // occupancies, and FSM modes.
@@ -423,9 +607,198 @@ impl Network {
         self.cycle += 1;
 
         #[cfg(feature = "sanitize")]
-        if self.sanitize {
+        if self.sanitize && !self.faults_attached() {
+            // Injected faults violate conservation by design; the audits
+            // only apply to fault-free operation.
             self.sanitize_audit();
         }
+    }
+
+    /// Resolves which output port a freed input slot's credit belongs to.
+    /// Routers never emit credit returns for local input ports (sources
+    /// check buffer space directly), so a local-port return can only come
+    /// from a sink — a credit for the owning router's local output.
+    fn credit_owner(&self, c: &CreditReturn) -> (NodeId, nox_core::PortId) {
+        if self.topo.is_local(c.input) {
+            (c.node, c.input)
+        } else {
+            // Input port `c.input` of router `c.node` is fed by the
+            // neighbour in that direction; the credit belongs to the
+            // neighbour's opposite output port.
+            let dir = self.topo.port_direction(c.input);
+            let upstream = self
+                .topo
+                .grid()
+                .neighbor(c.node, dir)
+                .expect("credit for an unconnected port");
+            (upstream, self.topo.direction_port(dir.opposite()))
+        }
+    }
+
+    /// Delivers one link word into its destination buffer (router input
+    /// or ejection sink).
+    fn deliver_word(&mut self, s: Send) {
+        self.counters.buffer_writes += 1;
+        if self.topo.is_local(s.out) {
+            let core = self.topo.core_at(s.node, s.out);
+            self.sinks[core.index()].receive(s.word);
+        } else {
+            let (dest, inp) = self
+                .topo
+                .link_dest(s.node, s.out)
+                .expect("send on an unconnected port");
+            self.routers[dest.index()].input_mut(inp).receive(s.word);
+        }
+    }
+
+    /// `true` when a fault campaign is attached (any feature set).
+    #[cfg(feature = "sanitize")]
+    fn faults_attached(&self) -> bool {
+        #[cfg(feature = "faults")]
+        {
+            self.faults.is_some()
+        }
+        #[cfg(not(feature = "faults"))]
+        {
+            false
+        }
+    }
+
+    /// `true` when the destination buffer of `s` can accept a word —
+    /// checked explicitly under fault injection, where phantom credits
+    /// make the normal overflow assertion unsound.
+    #[cfg(feature = "faults")]
+    fn fault_space_for(&self, s: &Send) -> bool {
+        if self.topo.is_local(s.out) {
+            let core = self.topo.core_at(s.node, s.out);
+            self.sinks[core.index()].has_space()
+        } else {
+            let (dest, inp) = self
+                .topo
+                .link_dest(s.node, s.out)
+                .expect("send on an unconnected port");
+            self.routers[dest.index()].input(inp).has_space()
+        }
+    }
+
+    /// Applies this cycle's credit-corruption draw, if any: one randomly
+    /// chosen connected output port has its credit counter forced to full
+    /// capacity, handing it phantom credits for occupied downstream slots.
+    #[cfg(feature = "faults")]
+    fn fault_credit_corruption(&mut self) {
+        let Some(f) = &mut self.faults else { return };
+        let ports = self.topo.ports() as usize;
+        let Some(site) = f.credit_corrupt_site(self.routers.len() * ports) else {
+            return;
+        };
+        let (r, p) = (site / ports, site % ports);
+        let port = nox_core::PortId(p as u8);
+        if !self.routers[r].output(port).is_connected() {
+            return; // drew a mesh-edge port: the fault lands on nothing
+        }
+        self.routers[r]
+            .output_mut(port)
+            .force_credits(self.cfg.buffer_depth);
+        f.note_credit_corrupted();
+        let node = self.routers[r].node();
+        self.probe_fault_event(node, port, "corrupt credits");
+    }
+
+    /// Launches retransmissions for logical packets whose timeout expired
+    /// this cycle: each becomes a fresh physical packet (unmeasured, so
+    /// retries do not pollute baseline latency statistics) scheduled at
+    /// its original source.
+    #[cfg(feature = "faults")]
+    fn fault_retx_pump(&mut self) {
+        let Some(mut f) = self.faults.take() else {
+            return;
+        };
+        for (idx, rt) in f.due_retransmissions(self.cycle) {
+            let id = self.packets.push(PacketMeta {
+                src: rt.src,
+                dest: rt.dest,
+                len: rt.len,
+                created_cycle: self.cycle,
+                measured: false,
+            });
+            self.sources[rt.src.index()].schedule(id);
+            f.map_attempt(id, idx);
+            let router = self.topo.router_of(rt.src);
+            self.probe_fault_event(router, self.topo.local_port(rt.src), "retransmit");
+        }
+        self.faults = Some(f);
+    }
+
+    /// Fires the deadlock-recovery watchdog when the network has made no
+    /// progress for a full stall window: resets every router's control
+    /// engines and flushes stuck decode chains (router inputs and sinks),
+    /// returning the credits of any freed slots. Containment only — the
+    /// packets whose flits are discarded here are re-delivered by the
+    /// end-to-end retransmission protocol, if configured.
+    #[cfg(feature = "faults")]
+    fn fault_watchdog(&mut self) {
+        if self.faults.is_none() {
+            return;
+        }
+        let progress = self.counters.buffer_reads
+            + self.counters.buffer_writes
+            + self.counters.flits_ejected
+            + self.counters.link_flits;
+        let quiescent = self.is_quiescent();
+        let Some(mut f) = self.faults.take() else {
+            return;
+        };
+        if quiescent || !f.watchdog_due(progress) {
+            self.faults = Some(f);
+            return;
+        }
+        for i in 0..self.routers.len() {
+            let node = self.routers[i].node();
+            for (port, lost, popped) in self.routers[i].watchdog_flush() {
+                if lost > 0 || popped {
+                    f.note_chain_kill(lost);
+                }
+                if popped {
+                    self.counters.buffer_reads += 1;
+                    if !self.topo.is_local(port) {
+                        let (owner, p) = self.credit_owner(&CreditReturn { node, input: port });
+                        self.credits_in_flight.push_back((
+                            self.cycle + self.cfg.credit_delay,
+                            owner,
+                            p.0,
+                        ));
+                    }
+                }
+            }
+        }
+        for i in 0..self.sinks.len() {
+            let (lost, popped) = self.sinks[i].watchdog_flush();
+            if lost > 0 || popped {
+                f.note_chain_kill(lost);
+            }
+            if popped {
+                self.counters.buffer_reads += 1;
+                let core = NodeId(i as u16);
+                self.credits_in_flight.push_back((
+                    self.cycle + self.cfg.credit_delay,
+                    self.topo.router_of(core),
+                    self.topo.local_port(core).0,
+                ));
+            }
+        }
+        self.faults = Some(f);
+        self.probe_fault_event(NodeId(0), nox_core::PortId(0), "watchdog reset");
+    }
+
+    /// Emits a fault event into the probe trace, if probing is enabled.
+    #[cfg(feature = "faults")]
+    fn probe_fault_event(&mut self, node: NodeId, port: nox_core::PortId, label: &'static str) {
+        #[cfg(feature = "probe")]
+        if let Some(p) = &mut self.probe {
+            p.on_fault(node, port, label);
+        }
+        #[cfg(not(feature = "probe"))]
+        let _ = (node, port, label);
     }
 
     /// Runs the global conservation audits over the current state. See
@@ -675,5 +1048,229 @@ mod tests {
             &one_packet_trace(0, 99, 1),
             (0.0, f64::MAX),
         );
+    }
+}
+
+#[cfg(all(test, feature = "faults"))]
+mod fault_tests {
+    use super::*;
+    use crate::config::Arch;
+    use crate::fault::{DeadLink, RetxConfig, RouterFreeze};
+    use crate::trace::PacketEvent;
+
+    /// Deterministic all-to-all-ish traffic: enough collisions to form
+    /// XOR chains, spread over every link direction.
+    fn uniform_trace(rounds: u32, len: u16) -> Trace {
+        let mut t = Trace::new();
+        for i in 0..rounds {
+            for s in 0..16u16 {
+                let d = (u32::from(s) * 7 + i * 3 + 5) % 16;
+                t.push(PacketEvent {
+                    time_ns: f64::from(i) * 4.0,
+                    src: NodeId(s),
+                    dest: NodeId(d as u16),
+                    len,
+                });
+            }
+        }
+        t
+    }
+
+    fn faulty_net(arch: Arch, trace: &Trace, cfg: FaultConfig) -> Network {
+        let mut net = Network::new(NetConfig::small(arch), trace, (0.0, f64::MAX));
+        net.enable_faults(cfg);
+        net
+    }
+
+    #[test]
+    fn zero_rate_campaign_changes_nothing() {
+        for arch in Arch::ALL {
+            let trace = uniform_trace(10, 2);
+            let mut clean = Network::new(NetConfig::small(arch), &trace, (0.0, f64::MAX));
+            assert!(clean.run_to_quiescence(20_000));
+            let mut faulty = faulty_net(arch, &trace, FaultConfig::default());
+            assert!(faulty.run_to_settlement(20_000), "{arch}: did not settle");
+            assert_eq!(
+                clean.counters().packets_ejected,
+                faulty.counters().packets_ejected,
+                "{arch}: zero-rate campaign altered behaviour"
+            );
+            let f = faulty.fault_state().unwrap();
+            assert_eq!(f.stats().injected_total(), 0);
+            assert_eq!(f.delivered_logicals(), f.total_logicals());
+        }
+    }
+
+    #[test]
+    fn unprotected_bit_flips_corrupt_silently() {
+        for arch in Arch::ALL {
+            let mut net = faulty_net(
+                arch,
+                &uniform_trace(20, 2),
+                FaultConfig::bit_flips(11, 0.02),
+            );
+            assert!(net.run_to_settlement(50_000), "{arch}: did not settle");
+            let st = net.fault_state().unwrap().stats();
+            assert!(st.injected_bit_flips > 0, "{arch}: plan never fired");
+            assert!(
+                st.silent_corruptions > 0,
+                "{arch}: flips must deliver wrong payloads without CRC"
+            );
+            assert_eq!(st.detected_crc, 0, "{arch}: CRC is off");
+        }
+    }
+
+    #[test]
+    fn crc_and_retransmission_recover_full_delivery() {
+        for arch in Arch::ALL {
+            let mut net = faulty_net(
+                arch,
+                &uniform_trace(20, 2),
+                FaultConfig::protected_bit_flips(11, 0.02),
+            );
+            assert!(net.run_to_settlement(200_000), "{arch}: did not settle");
+            let f = net.fault_state().unwrap();
+            let st = f.stats();
+            assert!(st.injected_bit_flips > 0, "{arch}: plan never fired");
+            assert!(st.detected_crc > 0, "{arch}: CRC never fired");
+            assert_eq!(
+                st.silent_corruptions, 0,
+                "{arch}: single-bit flips must never alias CRC-8"
+            );
+            assert_eq!(
+                f.delivered_logicals(),
+                f.total_logicals(),
+                "{arch}: retransmission must recover every packet"
+            );
+        }
+    }
+
+    #[test]
+    fn drops_are_recovered_by_retransmission() {
+        for arch in Arch::ALL {
+            let cfg = FaultConfig {
+                seed: 7,
+                drop_rate: 0.01,
+                crc_enabled: true,
+                retx: Some(RetxConfig::default()),
+                ..Default::default()
+            };
+            let mut net = faulty_net(arch, &uniform_trace(15, 2), cfg);
+            assert!(net.run_to_settlement(200_000), "{arch}: did not settle");
+            let f = net.fault_state().unwrap();
+            assert!(f.stats().injected_drops > 0, "{arch}: plan never fired");
+            assert!(f.stats().retransmissions > 0, "{arch}: no retries");
+            assert_eq!(f.delivered_logicals(), f.total_logicals(), "{arch}");
+        }
+    }
+
+    #[test]
+    fn duplications_are_deduplicated() {
+        for arch in Arch::ALL {
+            let cfg = FaultConfig {
+                seed: 13,
+                dup_rate: 0.02,
+                crc_enabled: true,
+                retx: Some(RetxConfig::default()),
+                ..Default::default()
+            };
+            let mut net = faulty_net(arch, &uniform_trace(15, 1), cfg);
+            assert!(net.run_to_settlement(200_000), "{arch}: did not settle");
+            let f = net.fault_state().unwrap();
+            assert!(f.stats().injected_dups > 0, "{arch}: plan never fired");
+            assert_eq!(f.delivered_logicals(), f.total_logicals(), "{arch}");
+        }
+    }
+
+    #[test]
+    fn dead_link_is_routed_around() {
+        // Kill node 5's East link from cycle 0; row traffic 4 -> 7 must
+        // detour and still arrive without any retransmission.
+        let mut t = Trace::new();
+        for i in 0..10 {
+            t.push(PacketEvent {
+                time_ns: f64::from(i) * 4.0,
+                src: NodeId(4),
+                dest: NodeId(7),
+                len: 2,
+            });
+        }
+        let east = Topology::mesh(4, 4).route(NodeId(5), NodeId(7));
+        let cfg = FaultConfig {
+            dead_links: vec![DeadLink {
+                node: 5,
+                port: east.0,
+            }],
+            crc_enabled: true,
+            retx: Some(RetxConfig::default()),
+            ..Default::default()
+        };
+        let mut net = faulty_net(Arch::Nox, &t, cfg);
+        assert!(net.run_to_settlement(100_000));
+        let f = net.fault_state().unwrap();
+        assert_eq!(f.delivered_logicals(), f.total_logicals());
+        assert_eq!(
+            f.stats().retransmissions,
+            0,
+            "reroute should make retries unnecessary"
+        );
+    }
+
+    #[test]
+    fn credit_corruption_overflows_are_contained() {
+        for arch in Arch::ALL {
+            let cfg = FaultConfig {
+                seed: 23,
+                credit_corrupt_rate: 0.02,
+                crc_enabled: true,
+                retx: Some(RetxConfig::default()),
+                ..Default::default()
+            };
+            let mut net = faulty_net(arch, &uniform_trace(15, 2), cfg);
+            assert!(net.run_to_settlement(400_000), "{arch}: did not settle");
+            let f = net.fault_state().unwrap();
+            assert!(
+                f.stats().injected_credit_corruptions > 0,
+                "{arch}: plan never fired"
+            );
+            assert_eq!(f.delivered_logicals(), f.total_logicals(), "{arch}");
+        }
+    }
+
+    #[test]
+    fn router_freeze_delays_but_delivers() {
+        let cfg = FaultConfig {
+            freeze: Some(RouterFreeze {
+                node: 5,
+                from_cycle: 5,
+                cycles: 50,
+            }),
+            crc_enabled: true,
+            retx: Some(RetxConfig::default()),
+            ..Default::default()
+        };
+        let mut net = faulty_net(Arch::Nox, &uniform_trace(5, 2), cfg);
+        assert!(net.run_to_settlement(100_000));
+        let f = net.fault_state().unwrap();
+        assert!(f.stats().frozen_cycles > 0);
+        assert_eq!(f.delivered_logicals(), f.total_logicals());
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let run = || {
+            let mut net = faulty_net(
+                Arch::Nox,
+                &uniform_trace(10, 2),
+                FaultConfig::protected_bit_flips(42, 0.03),
+            );
+            assert!(net.run_to_settlement(200_000));
+            (
+                net.cycle(),
+                *net.counters(),
+                format!("{:?}", net.fault_state().unwrap().stats()),
+            )
+        };
+        assert_eq!(run(), run());
     }
 }

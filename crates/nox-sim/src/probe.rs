@@ -93,6 +93,12 @@ pub enum EventKind {
         /// The completed packet.
         packet: PacketId,
     },
+    /// A fault-campaign event (feature `faults`): an injection, a
+    /// detection, or a recovery action at this node/port.
+    Fault {
+        /// What happened, e.g. `"inject bit-flip"` or `"detect crc"`.
+        label: &'static str,
+    },
 }
 
 /// One entry of the cycle-level event trace.
@@ -469,6 +475,17 @@ impl Probe {
             node,
             port: input,
             kind: EventKind::Latch,
+        });
+    }
+
+    /// A fault-campaign event: injection, detection, or recovery.
+    #[cfg(feature = "faults")]
+    pub(crate) fn on_fault(&mut self, node: NodeId, port: PortId, label: &'static str) {
+        self.push_event(TraceEvent {
+            cycle: self.cur_cycle,
+            node,
+            port,
+            kind: EventKind::Fault { label },
         });
     }
 

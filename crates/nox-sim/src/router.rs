@@ -63,6 +63,9 @@ pub struct TickCtx<'a> {
     /// Telemetry collector, if one is attached to the network.
     #[cfg(feature = "probe")]
     pub probe: Option<&'a mut crate::probe::Probe>,
+    /// Fault-injection state, if a campaign is attached to the network.
+    #[cfg(feature = "faults")]
+    pub faults: Option<&'a mut crate::fault::FaultState>,
 }
 
 impl<'a> TickCtx<'a> {
@@ -80,8 +83,89 @@ impl<'a> TickCtx<'a> {
             credits,
             #[cfg(feature = "probe")]
             probe: None,
+            #[cfg(feature = "faults")]
+            faults: None,
         }
     }
+
+    // Fault hook shims: real under the `faults` feature, empty inline
+    // no-ops otherwise, so the router call sites stay unconditional.
+
+    /// Fault-aware route selection: detours around stuck-at-dead links.
+    #[cfg(feature = "faults")]
+    fn fault_route(
+        &mut self,
+        topo: &Topology,
+        node: NodeId,
+        info: &FlitInfo,
+        preferred: PortId,
+    ) -> PortId {
+        match &mut self.faults {
+            Some(f) => f.reroute(topo, node, info, preferred),
+            None => preferred,
+        }
+    }
+
+    #[cfg(not(feature = "faults"))]
+    #[inline(always)]
+    fn fault_route(
+        &mut self,
+        _topo: &Topology,
+        _node: NodeId,
+        _info: &FlitInfo,
+        preferred: PortId,
+    ) -> PortId {
+        preferred
+    }
+
+    /// FSM desync self-check: a presented word that is not exactly one
+    /// plain flit means the decode register lost sync with the chain
+    /// (possible only under fault injection; otherwise `word_info` panics
+    /// on this condition as a simulator invariant).
+    #[cfg(feature = "faults")]
+    fn fault_desync(&mut self, word: &Word) -> bool {
+        self.faults.is_some() && !word.is_plain()
+    }
+
+    #[cfg(not(feature = "faults"))]
+    #[inline(always)]
+    fn fault_desync(&mut self, _word: &Word) -> bool {
+        false
+    }
+
+    /// Is this router frozen (transient fault) this cycle?
+    #[cfg(feature = "faults")]
+    pub(crate) fn fault_frozen(&mut self, node: NodeId) -> bool {
+        match &mut self.faults {
+            Some(f) => f.frozen_tick(node.0),
+            None => false,
+        }
+    }
+
+    #[cfg(not(feature = "faults"))]
+    #[inline(always)]
+    pub(crate) fn fault_frozen(&mut self, _node: NodeId) -> bool {
+        false
+    }
+
+    #[cfg(feature = "faults")]
+    fn fault_chain_kill(&mut self, node: NodeId, input: PortId, lost: usize) {
+        if let Some(f) = &mut self.faults {
+            f.note_chain_kill(lost);
+        }
+        self.probe_fault(node, input, "detect desync");
+    }
+
+    #[cfg(all(feature = "faults", feature = "probe"))]
+    fn probe_fault(&mut self, node: NodeId, port: PortId, label: &'static str) {
+        if let Some(p) = &mut self.probe {
+            p.on_fault(node, port, label);
+        }
+    }
+
+    #[cfg(all(feature = "faults", not(feature = "probe")))]
+    #[inline(always)]
+    fn probe_fault(&mut self, _node: NodeId, _port: PortId, _label: &'static str) {}
 
     // Probe hook shims: real under the `probe` feature, empty inline
     // no-ops otherwise, so the router call sites stay unconditional.
@@ -196,6 +280,26 @@ impl InputPort {
         self.fifo.pop_front()
     }
 
+    /// Chain-kill containment: abandons a poisoned decode chain. The
+    /// decode register is reset and, if the head-of-line word is encoded
+    /// (part of the same broken chain), it is popped too. Returns the
+    /// number of constituent flit keys discarded and whether a FIFO slot
+    /// was freed (whose credit the caller must return).
+    #[cfg(feature = "faults")]
+    pub(crate) fn chain_kill(&mut self) -> (usize, bool) {
+        let mut lost = 0;
+        if let Some(reg) = self.decoder.reset() {
+            lost += reg.arity();
+        }
+        let mut popped = false;
+        if self.fifo.front().is_some_and(Word::is_encoded) {
+            let head = self.fifo.pop_front().expect("front was Some");
+            lost += head.arity();
+            popped = true;
+        }
+        (lost, popped)
+    }
+
     /// Pops the head flit, maintaining the freshness flag for Spec-Fast.
     fn pop(&mut self, popped_is_tail: bool) -> Word {
         let w = self.fifo.pop_front().expect("pop from empty FIFO");
@@ -237,6 +341,27 @@ impl OutputPort {
             self.credits <= capacity,
             "credit overflow: more credits than buffer slots"
         );
+    }
+
+    /// Returns one credit, clamping at capacity instead of panicking.
+    /// Under fault injection phantom credits (from credit-counter
+    /// corruption or duplication faults) can legitimately over-return;
+    /// clamping makes the loop self-balancing.
+    #[cfg(feature = "faults")]
+    pub(crate) fn return_credit_saturating(&mut self, capacity: usize) {
+        self.credits = (self.credits + 1).min(capacity);
+    }
+
+    /// Overwrites the credit counter (a credit-corruption fault).
+    #[cfg(feature = "faults")]
+    pub(crate) fn force_credits(&mut self, credits: usize) {
+        self.credits = credits;
+    }
+
+    /// `true` when a physical link is attached to this port.
+    #[cfg(feature = "faults")]
+    pub(crate) fn is_connected(&self) -> bool {
+        self.connected
     }
 }
 
@@ -354,6 +479,34 @@ impl Router {
         }
     }
 
+    /// Watchdog deadlock recovery: resets every output's control engine
+    /// (clearing wedged reservations, streams, and collision chains) and
+    /// truncates every in-progress decode chain. Returns, per input that
+    /// lost state, `(port, constituent flits discarded, slot freed)`.
+    ///
+    /// Resetting engines mid-wormhole can interleave healthy packets;
+    /// their flits then fail the sink sequence check and fall back to
+    /// end-to-end retransmission — graceful degradation, not a panic.
+    #[cfg(feature = "faults")]
+    pub(crate) fn watchdog_flush(&mut self) -> Vec<(PortId, usize, bool)> {
+        let ports = self.topo.ports();
+        for out in &mut self.outputs {
+            out.engine = match &out.engine {
+                Engine::NonSpec(_) => Engine::NonSpec(NonSpecCtl::new(ports)),
+                Engine::Spec(c) => Engine::Spec(SpecCtl::new(ports, c.spec_mode())),
+                Engine::Nox(c) => Engine::Nox(OutputCtl::with_options(ports, c.options())),
+            };
+        }
+        let mut flushed = Vec::new();
+        for (idx, input) in self.inputs.iter_mut().enumerate() {
+            if input.decoder.is_mid_chain() {
+                let (lost, popped) = input.chain_kill();
+                flushed.push((PortId(idx as u8), lost, popped));
+            }
+        }
+        flushed
+    }
+
     /// Advances the router by one cycle.
     pub fn tick(&mut self, ctx: &mut TickCtx<'_>) {
         for i in &mut self.inputs {
@@ -395,30 +548,74 @@ impl Router {
                         None
                     }
                     DecodePlan::Present { word, action } => {
-                        let info = ctx.packets.word_info(&word);
-                        let out_port = topo.route(node, info.dest);
-                        Some(Presented {
-                            word,
-                            info,
-                            out: out_port,
-                            action,
-                        })
+                        if ctx.fault_desync(&word) {
+                            // The decode register lost sync with its chain
+                            // (an injected drop or duplication upstream):
+                            // contain by truncating the poisoned chain.
+                            Self::chain_kill_input(input, node, PortId(idx as u8), &topo, ctx);
+                            None
+                        } else {
+                            let info = ctx.packets.word_info(&word);
+                            let preferred = topo.route(node, info.dest);
+                            let out_port = ctx.fault_route(&topo, node, &info, preferred);
+                            Some(Presented {
+                                word,
+                                info,
+                                out: out_port,
+                                action,
+                            })
+                        }
                     }
                 },
-                _ => input.fifo.front().map(|w| {
-                    let info = ctx.packets.word_info(w);
-                    let out_port = topo.route(node, info.dest);
-                    Presented {
-                        word: w.clone(),
-                        info,
-                        out: out_port,
-                        action: DecodeAction::Pass,
+                _ => match input.fifo.front() {
+                    Some(w) => {
+                        let info = ctx.packets.word_info(w);
+                        let preferred = topo.route(node, info.dest);
+                        let out_port = ctx.fault_route(&topo, node, &info, preferred);
+                        Some(Presented {
+                            word: w.clone(),
+                            info,
+                            out: out_port,
+                            action: DecodeAction::Pass,
+                        })
                     }
-                }),
+                    None => None,
+                },
             };
             out.push(presented);
         }
         out
+    }
+
+    /// Truncates a poisoned decode chain at `input`, accounting for the
+    /// discarded flits and returning the credit of any freed FIFO slot.
+    #[cfg(feature = "faults")]
+    fn chain_kill_input(
+        input: &mut InputPort,
+        node: NodeId,
+        port: PortId,
+        topo: &Topology,
+        ctx: &mut TickCtx<'_>,
+    ) {
+        let (lost, popped) = input.chain_kill();
+        ctx.fault_chain_kill(node, port, lost);
+        if popped {
+            ctx.counters.buffer_reads += 1;
+            if !topo.is_local(port) {
+                ctx.credits.push(CreditReturn { node, input: port });
+            }
+        }
+    }
+
+    #[cfg(not(feature = "faults"))]
+    #[inline(always)]
+    fn chain_kill_input(
+        _input: &mut InputPort,
+        _node: NodeId,
+        _port: PortId,
+        _topo: &Topology,
+        _ctx: &mut TickCtx<'_>,
+    ) {
     }
 
     /// Builds the per-output request sets from presented flits, qualified

@@ -25,6 +25,10 @@ pub struct SinkOutcome {
     pub credit_freed: bool,
     /// The flit consumed this cycle, if any.
     pub consumed: Option<FlitInfo>,
+    /// Fault-campaign event label for the probe trace, if a fault was
+    /// detected or a corruption slipped through at this sink.
+    #[cfg(feature = "faults")]
+    pub fault_event: Option<&'static str>,
 }
 
 /// The ejection interface of one node.
@@ -65,6 +69,12 @@ impl Sink {
         self.fifo.is_empty() && !self.decoder.is_mid_chain()
     }
 
+    /// `true` when the ejection buffer can accept another word.
+    #[cfg(feature = "faults")]
+    pub(crate) fn has_space(&self) -> bool {
+        self.fifo.len() < self.capacity
+    }
+
     /// Current ejection buffer occupancy in words.
     pub fn occupancy(&self) -> usize {
         self.fifo.len()
@@ -99,7 +109,7 @@ impl Sink {
                 counters.decode_reg_writes += 1;
                 SinkOutcome {
                     credit_freed: true,
-                    consumed: None,
+                    ..Default::default()
                 }
             }
             DecodePlan::Present { word, action } => {
@@ -114,31 +124,146 @@ impl Sink {
 
                 counters.buffer_reads += 1;
                 counters.flits_ejected += 1;
-                let credit_freed = match action {
-                    DecodeAction::Pass => {
-                        self.fifo.pop_front();
-                        self.decoder.commit(DecodeAction::Pass, None);
-                        true
-                    }
-                    DecodeAction::DecodeKeep => {
-                        self.decoder.commit(DecodeAction::DecodeKeep, None);
-                        counters.decode_xors += 1;
-                        false
-                    }
-                    DecodeAction::DecodeShift => {
-                        let head = self.fifo.pop_front().expect("shift without head");
-                        self.decoder.commit(DecodeAction::DecodeShift, Some(head));
-                        counters.decode_xors += 1;
-                        counters.decode_reg_writes += 1;
-                        true
-                    }
-                };
+                let credit_freed = self.commit_action(action, counters);
                 SinkOutcome {
                     credit_freed,
                     consumed: Some(info),
+                    #[cfg(feature = "faults")]
+                    fault_event: None,
                 }
             }
         }
+    }
+
+    /// Commits one decode action on the FIFO, returning whether a slot
+    /// freed (mirrors the tail of [`Sink::drain`]).
+    fn commit_action(&mut self, action: DecodeAction, counters: &mut Counters) -> bool {
+        match action {
+            DecodeAction::Pass => {
+                self.fifo.pop_front();
+                self.decoder.commit(DecodeAction::Pass, None);
+                true
+            }
+            DecodeAction::DecodeKeep => {
+                self.decoder.commit(DecodeAction::DecodeKeep, None);
+                counters.decode_xors += 1;
+                false
+            }
+            DecodeAction::DecodeShift => {
+                let head = self.fifo.pop_front().expect("shift without head");
+                self.decoder.commit(DecodeAction::DecodeShift, Some(head));
+                counters.decode_xors += 1;
+                counters.decode_reg_writes += 1;
+                true
+            }
+        }
+    }
+
+    /// Drains one presented flit under fault injection.
+    ///
+    /// Unlike [`Sink::drain`], nothing here panics on corruption — the
+    /// fault layer turns each integrity violation into a counted outcome:
+    /// a desynchronized decode chain is truncated (chain kill), a
+    /// CRC-detected corrupt payload is discarded at the NIC, and an
+    /// undetected one is delivered and counted as a silent corruption.
+    /// The wrong-node check stays an assertion: headers (keys) are
+    /// modeled as protected, so misrouting still indicates a router bug.
+    #[cfg(feature = "faults")]
+    pub(crate) fn drain_faulty(
+        &mut self,
+        packets: &PacketTable,
+        counters: &mut Counters,
+        faults: &mut crate::fault::FaultState,
+    ) -> SinkOutcome {
+        use crate::fault::DeliveryClass;
+        match self.decoder.plan(self.fifo.front()) {
+            DecodePlan::Idle => SinkOutcome::default(),
+            DecodePlan::Latch => {
+                let w = self.fifo.pop_front().expect("planned latch without head");
+                self.decoder.latch(w);
+                counters.buffer_reads += 1;
+                counters.decode_reg_writes += 1;
+                SinkOutcome {
+                    credit_freed: true,
+                    ..Default::default()
+                }
+            }
+            DecodePlan::Present { word, action } => {
+                let Some(raw_key) = word.sole_key() else {
+                    // FSM desync at the ejection port: contain the chain.
+                    let (lost, popped) = self.chain_kill();
+                    faults.note_chain_kill(lost);
+                    if popped {
+                        counters.buffer_reads += 1;
+                    }
+                    return SinkOutcome {
+                        credit_freed: popped,
+                        fault_event: Some("detect desync"),
+                        ..Default::default()
+                    };
+                };
+                let key = FlitKey::unpack(raw_key);
+                let info = packets.flit_info(key);
+                assert_eq!(info.dest, self.node, "flit ejected at wrong node");
+                counters.buffer_reads += 1;
+                let actual = *word.payload();
+                let credit_freed = self.commit_action(action, counters);
+                match faults.classify_delivery(key, actual) {
+                    DeliveryClass::DetectedCrc => SinkOutcome {
+                        // The CRC sideband caught the corruption: the flit
+                        // is discarded at the NIC, not delivered.
+                        credit_freed,
+                        fault_event: Some("detect crc"),
+                        ..Default::default()
+                    },
+                    DeliveryClass::Silent => {
+                        counters.flits_ejected += 1;
+                        SinkOutcome {
+                            credit_freed,
+                            consumed: Some(info),
+                            fault_event: Some("silent corruption"),
+                        }
+                    }
+                    DeliveryClass::Clean => {
+                        counters.flits_ejected += 1;
+                        SinkOutcome {
+                            credit_freed,
+                            consumed: Some(info),
+                            ..Default::default()
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Watchdog deadlock recovery: truncates an in-progress decode chain
+    /// whose remaining words will never arrive. Returns the number of
+    /// constituent keys discarded and whether a FIFO slot freed.
+    #[cfg(feature = "faults")]
+    pub(crate) fn watchdog_flush(&mut self) -> (usize, bool) {
+        if self.decoder.is_mid_chain() {
+            self.chain_kill()
+        } else {
+            (0, false)
+        }
+    }
+
+    /// Truncates a poisoned decode chain at this sink. Returns the number
+    /// of constituent keys discarded and whether a FIFO slot freed.
+    #[cfg(feature = "faults")]
+    fn chain_kill(&mut self) -> (usize, bool) {
+        let mut lost = 0;
+        if let Some(reg) = self.decoder.reset() {
+            lost += reg.arity();
+        }
+        let mut popped = false;
+        if self.fifo.front().is_some_and(Word::is_encoded) {
+            let head = self.fifo.pop_front().expect("front was Some");
+            lost += head.arity();
+            popped = true;
+        }
+        (lost, popped)
     }
 }
 

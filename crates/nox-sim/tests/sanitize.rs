@@ -58,3 +58,63 @@ fn sanitizer_audits_an_idle_network_without_complaint() {
     net.run(50);
     assert!(net.is_quiescent());
 }
+
+#[test]
+fn sanitizer_stays_clean_on_a_fully_drained_network() {
+    // After the last flit ejects, every structure is empty; continuing
+    // to tick must keep every audit clean and move no flits.
+    for arch in Arch::ALL {
+        let cfg = NetConfig::small(arch);
+        let mut net = Network::new(cfg, &contention_trace(16), (0.0, f64::MAX));
+        net.enable_sanitizer();
+        assert!(
+            net.run_to_quiescence(20_000),
+            "{arch} failed to drain under sanitizer"
+        );
+        let drained = *net.counters();
+        net.run(500);
+        let after = *net.counters();
+        assert!(net.is_quiescent(), "{arch} woke up after draining");
+        assert_eq!(drained.flits_injected, after.flits_injected);
+        assert_eq!(
+            drained.flits_ejected, after.flits_ejected,
+            "{arch} ejected post-drain"
+        );
+    }
+}
+
+/// A zero-rate fault plan with no dead links, freezes, or retransmission
+/// must be completely inert: same counters as a fault-free run, zero
+/// fault events, settled from the first cycle — with the sanitizer
+/// auditing the combination the whole way.
+#[cfg(feature = "faults")]
+#[test]
+fn zero_rate_fault_plan_is_inert_under_the_sanitizer() {
+    use nox_fault::FaultConfig;
+
+    for trace in [contention_trace(16), Trace::new()] {
+        let baseline = {
+            let mut net = Network::new(NetConfig::small(Arch::Nox), &trace, (0.0, f64::MAX));
+            net.enable_sanitizer();
+            assert!(net.run_to_quiescence(20_000));
+            *net.counters()
+        };
+        let mut net = Network::new(NetConfig::small(Arch::Nox), &trace, (0.0, f64::MAX));
+        net.enable_sanitizer();
+        net.enable_faults(FaultConfig::bit_flips(0x5EED, 0.0));
+        assert!(
+            net.faults_settled(),
+            "zero-rate plan not settled at cycle 0"
+        );
+        assert!(net.run_to_settlement(20_000));
+        assert_eq!(
+            *net.counters(),
+            baseline,
+            "zero-rate plan perturbed the run"
+        );
+        let stats = net.fault_state().unwrap().stats();
+        assert_eq!(stats.injected_bit_flips, 0);
+        assert_eq!(stats.silent_corruptions, 0);
+        assert_eq!(stats.detected_crc, 0);
+    }
+}

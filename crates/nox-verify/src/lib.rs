@@ -55,10 +55,22 @@
 //! }
 //! ```
 //!
+//! # Fault invariant
+//!
+//! The fault-tolerance layer adds one more exhaustively checked property:
+//!
+//! * **I7 no silent corruption** — with the CRC-8 sideband enabled, the
+//!   decoder never presents a silently-wrong flit: every chain shape,
+//!   strike position, and single-bit link mask within bounds is driven
+//!   through the real decoder and every corrupted presentation must be
+//!   flagged ([`fault::check_decoder_crc`]).
+//!
 //! `noxsim verify` runs the same sweep at [`Bounds::full`] plus a
-//! sanitized simulation smoke sweep (`nox-sim`'s `sanitize` feature).
+//! sanitized simulation smoke sweep (`nox-sim`'s `sanitize` feature) and
+//! the I7 fault sweep at [`FaultBounds::quick`].
 
 pub mod checker;
+pub mod fault;
 pub mod model;
 pub mod mutation;
 pub mod scenario;
@@ -67,6 +79,7 @@ pub use checker::{
     check, check_mutation, check_scenario, mutation_smoke, CheckReport, MutationReport,
     ScenarioReport,
 };
+pub use fault::{check_decoder_crc, FaultBounds, FaultCheckReport, FaultViolation};
 pub use model::{EnvChoice, Model, Violation, ViolationKind};
 pub use mutation::Mutation;
 pub use scenario::{scenarios, Bounds, Flit, Scenario};

@@ -13,6 +13,7 @@
 //! noxsim verify  [--quick]
 //! noxsim claims  [--quick|--smoke|--full] [--out FILE] [--baseline FILE]
 //!                [--update-baseline]
+//! noxsim faults  [--quick|--smoke|--full] [--json] [--out FILE]
 //! noxsim bench-compare OLD.json NEW.json [--threshold PCT]
 //! noxsim info
 //! ```
@@ -67,6 +68,7 @@ fn main() -> ExitCode {
         "heatmap" => cmd_heatmap(&opts),
         "verify" => cmd_verify(&opts),
         "claims" => cmd_claims(&opts),
+        "faults" => cmd_faults(&opts),
         "bench-compare" => cmd_bench_compare(positional, &opts),
         "info" => cmd_info(),
         "help" | "--help" | "-h" => {
@@ -97,6 +99,7 @@ fn usage() {
            heatmap  per-router utilization/occupancy grids (needs --features probe)\n\
            verify   model-check invariants + sanitized sweep (--quick: fast CI bounds)\n\
            claims   evaluate the paper-conformance registry and diff CLAIMS_BASELINE.json (--smoke/--full tiers, --update-baseline re-pins)\n\
+           faults   fault-injection campaigns: XOR-chain fragility + CRC/retransmission recovery (--json, --out FILE)\n\
            bench-compare OLD.json NEW.json  diff two perf artifacts (--threshold PCT, default 10)\n\
            info     clock periods, area, configuration summary\n\
          \n\
@@ -124,7 +127,7 @@ fn parse_opts(rest: &[String]) -> Result<Opts, String> {
         // Boolean flags take no value.
         if matches!(
             name,
-            "csv" | "cmesh" | "quick" | "smoke" | "full" | "probe" | "update-baseline"
+            "csv" | "cmesh" | "quick" | "smoke" | "full" | "json" | "probe" | "update-baseline"
         ) {
             opts.insert(name.to_string(), "true".into());
             continue;
@@ -638,7 +641,40 @@ fn cmd_verify(opts: &Opts) -> Result<(), String> {
     }
     println!("all mutations caught: the invariants have teeth\n");
 
+    fault_invariant()?;
+
     sanitized_smoke(opts)
+}
+
+fn fault_invariant() -> Result<(), String> {
+    use nox::verify::{check_decoder_crc, FaultBounds};
+
+    println!("== fault invariant I7: CRC shields every single-bit link strike ==");
+    let report = check_decoder_crc(&FaultBounds::quick());
+    println!(
+        "{} chain shapes, {} strike cases, {} presentations: {} corrupted, {} flagged, \
+         max fan-out {}",
+        report.shapes,
+        report.cases,
+        report.presented,
+        report.corrupted,
+        report.flagged,
+        report.max_fanout
+    );
+    for v in &report.violations {
+        println!(
+            "SILENT CORRUPTION {}: key {} expected {:#x} got {:#x}",
+            v.label, v.key, v.expected, v.actual
+        );
+    }
+    if !report.is_clean() {
+        return Err(format!(
+            "fault invariant failed: {} silent corruption(s)",
+            report.violations.len()
+        ));
+    }
+    println!("no silent corruption: every corrupted presentation is CRC-flagged\n");
+    Ok(())
 }
 
 #[cfg(feature = "sanitize")]
@@ -754,6 +790,40 @@ fn cmd_claims(opts: &Opts) -> Result<(), String> {
         ));
     }
     println!("conformance matches {baseline_path}: no claim fell below its pinned status");
+    Ok(())
+}
+
+/// Runs the fault-injection campaign study: the bit-flip sweep over all
+/// four architectures with and without the CRC + retransmission stack,
+/// and writes the versioned `nox-bench/faults/v1` artifact.
+fn cmd_faults(opts: &Opts) -> Result<(), String> {
+    use nox::analysis::harness::faults;
+    use nox::analysis::Tier;
+
+    let tier = if opts.contains_key("smoke") {
+        Tier::Smoke
+    } else if opts.contains_key("full") {
+        Tier::Full
+    } else {
+        Tier::Quick
+    };
+    eprintln!(
+        "running fault campaigns at the {} tier (bit-flip sweep x 4 architectures x 2 modes)...",
+        tier.name()
+    );
+    let study = faults::run(tier);
+    let doc = format!("{}\n", study.to_json());
+    if opts.contains_key("json") {
+        print!("{doc}");
+    } else {
+        print!("{}", study.render());
+    }
+    let out = opts
+        .get("out")
+        .map(String::as_str)
+        .unwrap_or("faults_report.json");
+    std::fs::write(out, doc).map_err(|e| format!("could not write {out}: {e}"))?;
+    println!("wrote {out}");
     Ok(())
 }
 

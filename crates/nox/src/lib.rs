@@ -44,6 +44,8 @@
 
 pub use nox_analysis as analysis;
 pub use nox_core as core;
+#[cfg(feature = "faults")]
+pub use nox_fault as fault;
 pub use nox_power as power;
 #[cfg(feature = "probe")]
 pub use nox_probe as probe;
