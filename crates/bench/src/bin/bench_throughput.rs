@@ -12,8 +12,15 @@
 //! Run from the repo root so the artifact lands next to the README:
 //!
 //! ```text
-//! cargo run --release -p nox-bench --bin bench_throughput [-- --trials N]
+//! cargo run --release -p nox-bench --bin bench_throughput [-- --trials N] [--threads N]
 //! ```
+//!
+//! `--threads N` fans the (architecture, trial) pairs out over the
+//! deterministic `nox-exec` pool. Each trial still times its own
+//! simulation, and the per-architecture `cycles` counts are bit-identical
+//! at any thread count, but concurrent trials contend for cores and
+//! deflate each other's cycles/sec — so the default stays 1 and parallel
+//! runs are for smoke passes, not for numbers worth committing.
 //!
 //! Harness timings spawn the sibling binaries from the same target
 //! directory; any that are not built are recorded as skipped rather than
@@ -25,6 +32,7 @@ use std::process::{Command, Stdio};
 use std::time::Instant;
 
 use nox_analysis::bench_artifact::{ArchThroughput, BenchArtifact, HarnessTiming};
+use nox_exec::Executor;
 use nox_sim::config::{Arch, NetConfig};
 use nox_sim::sim::{run, RunSpec};
 use nox_sim::topology::Mesh;
@@ -50,7 +58,8 @@ const HARNESSES: &[&str] = &[
     "feedback",
 ];
 
-fn sim_throughput(arch: Arch, trials: usize) -> ArchThroughput {
+/// One timed trial: simulated cycles and cycles per wall-clock second.
+fn sim_trial(arch: Arch) -> (u64, f64) {
     let cores = Mesh::new(8, 8);
     let trace = generate(cores, &SyntheticConfig::uniform(RATE_MBPS, 40_000.0));
     let spec = RunSpec {
@@ -58,36 +67,43 @@ fn sim_throughput(arch: Arch, trials: usize) -> ArchThroughput {
         measure_ns: 6_000.0,
         drain_ns: 30_000.0,
     };
-    let mut cycles = 0;
-    let trials_cps = (0..trials)
-        .map(|_| {
-            let t = Instant::now();
-            let r = run(NetConfig::paper(arch), &trace, &spec);
-            cycles = r.cycles;
-            r.cycles as f64 / t.elapsed().as_secs_f64()
-        })
-        .collect();
-    ArchThroughput {
-        arch: arch.name().to_string(),
-        cycles,
-        trials_cps,
-    }
+    let t = Instant::now();
+    let r = run(NetConfig::paper(arch), &trace, &spec);
+    (r.cycles, r.cycles as f64 / t.elapsed().as_secs_f64())
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let trials = args
-        .iter()
-        .position(|a| a == "--trials")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|n| n.parse().ok())
-        .unwrap_or(DEFAULT_TRIALS)
-        .max(1);
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|n| n.parse::<usize>().ok())
+    };
+    let trials = flag("--trials").unwrap_or(DEFAULT_TRIALS).max(1);
+    let exec = Executor::new(flag("--threads").unwrap_or(1));
 
+    let jobs: Vec<Arch> = Arch::ALL
+        .into_iter()
+        .flat_map(|arch| std::iter::repeat_n(arch, trials))
+        .collect();
+    let mut results = exec.map(jobs, |_, arch| sim_trial(arch)).into_iter();
     let architectures: Vec<ArchThroughput> = Arch::ALL
         .into_iter()
         .map(|arch| {
-            let a = sim_throughput(arch, trials);
+            let mut cycles = 0;
+            let trials_cps = (0..trials)
+                .map(|_| {
+                    let (c, cps) = results.next().expect("one result per trial");
+                    cycles = c;
+                    cps
+                })
+                .collect();
+            let a = ArchThroughput {
+                arch: arch.name().to_string(),
+                cycles,
+                trials_cps,
+            };
             println!(
                 "{:<16} {:>8} cycles, {trials} trials: median {:>12.0} cycles/sec (min {:.0}, spread {:.0}%)",
                 a.arch,

@@ -9,6 +9,7 @@ use crate::apps::{
     app_run_spec, mean_ed2_improvement_pct, run_workload_sized, AppResult, APP_TRACE_NS,
 };
 use crate::harness::Tier;
+use nox_exec::Executor;
 use nox_sim::config::Arch;
 use nox_sim::sim::RunSpec;
 use nox_traffic::WORKLOADS;
@@ -43,15 +44,32 @@ pub fn app_tier_spec(tier: Tier) -> (RunSpec, f64) {
     }
 }
 
-/// Runs the study at `tier`.
+/// Runs the study at `tier`, serially.
 pub fn study(tier: Tier) -> AppStudy {
+    study_with(tier, &Executor::sequential())
+}
+
+/// Runs the study at `tier`, fanning every (workload, architecture) run
+/// out over `exec`. Each run is independent (same seed, same spec), and
+/// the ordered reduction rebuilds the rows in `WORKLOADS` × `Arch::ALL`
+/// order, so the study is bit-identical to the serial [`study`] at any
+/// thread count.
+pub fn study_with(tier: Tier, exec: &Executor) -> AppStudy {
     let (spec, trace_ns) = app_tier_spec(tier);
+    let jobs: Vec<_> = WORKLOADS
+        .iter()
+        .flat_map(|w| Arch::ALL.iter().map(move |&a| (w, a)))
+        .collect();
+    let results = exec.map(jobs, |_, (w, a)| {
+        run_workload_sized(a, w, APP_SEED, &spec, trace_ns)
+    });
+    let mut it = results.into_iter();
     let rows = WORKLOADS
         .iter()
-        .map(|w| {
+        .map(|_| {
             Arch::ALL
                 .iter()
-                .map(|&a| run_workload_sized(a, w, APP_SEED, &spec, trace_ns))
+                .map(|_| it.next().expect("one result per submitted job"))
                 .collect()
         })
         .collect();

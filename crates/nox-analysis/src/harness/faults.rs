@@ -19,6 +19,7 @@ use std::fmt::Write as _;
 use crate::harness::Tier;
 use crate::json::Json;
 use crate::Table;
+use nox_exec::Executor;
 use nox_sim::config::{Arch, NetConfig};
 use nox_sim::fault::{FaultConfig, FaultStats};
 use nox_sim::network::Network;
@@ -178,36 +179,55 @@ fn campaign(arch: Arch, trace: &Trace, cfg: FaultConfig) -> FaultPoint {
     }
 }
 
-/// Runs the full study at `tier`. Seeds are fixed per grid index and
-/// shared by every architecture at a given rate, so the per-cycle fault
-/// draws are as comparable as the shared trace is.
+/// Runs the full study at `tier`, serially. Seeds are fixed per grid
+/// index and shared by every architecture at a given rate, so the
+/// per-cycle fault draws are as comparable as the shared trace is.
 pub fn run(tier: Tier) -> FaultStudy {
+    run_with(tier, &Executor::sequential())
+}
+
+/// Runs the full study at `tier`, fanning every
+/// (protection mode, architecture, rate) campaign out over `exec`.
+///
+/// Each campaign owns its fault RNG (seeded from the grid index) and
+/// shares only the immutable trace, and the ordered reduction rebuilds
+/// the two series sets in mode → `Arch::ALL` → grid order, so the study
+/// is bit-identical to the serial [`run`] at any thread count.
+pub fn run_with(tier: Tier, exec: &Executor) -> FaultStudy {
     let rates = rates(tier);
     let rounds = rounds(tier);
     let trace = campaign_trace(rounds);
-    let series = |protected: bool| -> Vec<ArchFaultSeries> {
+    let mut jobs: Vec<(bool, Arch, usize, f64)> = Vec::new();
+    for protected in [false, true] {
+        for &arch in Arch::ALL.iter() {
+            for (i, &r) in rates.iter().enumerate() {
+                jobs.push((protected, arch, i, r));
+            }
+        }
+    }
+    let points = exec.map(jobs, |_, (protected, arch, i, r)| {
+        let seed = 0xFA01 + i as u64;
+        let cfg = if protected {
+            FaultConfig::protected_bit_flips(seed, r)
+        } else {
+            FaultConfig::bit_flips(seed, r)
+        };
+        campaign(arch, &trace, cfg)
+    });
+    let mut it = points.into_iter();
+    let mut series = || -> Vec<ArchFaultSeries> {
         Arch::ALL
             .iter()
             .map(|&arch| ArchFaultSeries {
                 arch,
-                points: rates
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &r)| {
-                        let seed = 0xFA01 + i as u64;
-                        let cfg = if protected {
-                            FaultConfig::protected_bit_flips(seed, r)
-                        } else {
-                            FaultConfig::bit_flips(seed, r)
-                        };
-                        campaign(arch, &trace, cfg)
-                    })
+                points: (0..rates.len())
+                    .map(|_| it.next().expect("one result per submitted job"))
                     .collect(),
             })
             .collect()
     };
-    let unprotected = series(false);
-    let protected = series(true);
+    let unprotected = series();
+    let protected = series();
     FaultStudy {
         tier,
         rates,

@@ -9,7 +9,8 @@
 
 use crate::harness::Tier;
 use crate::json::Json;
-use crate::sweep::{crossover_mbps, sweep, ArchSeries, SweepConfig};
+use crate::sweep::{crossover_mbps, measure_point, ArchSeries, SweepConfig};
+use nox_exec::Executor;
 use nox_sim::config::Arch;
 use nox_sim::sim::RunSpec;
 use nox_traffic::synthetic::Process;
@@ -108,24 +109,59 @@ pub fn sweep_config(tier: Tier, rates: Vec<f64>) -> SweepConfig {
     }
 }
 
-/// Runs the full four-scenario study at `tier`.
+/// Runs the full four-scenario study at `tier`, serially.
 pub fn study(tier: Tier) -> SyntheticStudy {
+    study_with(tier, &Executor::sequential())
+}
+
+/// Runs the full four-scenario study at `tier`, fanning every
+/// (scenario, architecture, rate) operating point out over `exec`.
+///
+/// Each point is measured by [`measure_point`] from nothing but its own
+/// configuration, and the ordered reduction reassembles the panel /
+/// series / point nesting in definition order — so the study is
+/// bit-identical to the serial [`study`] at any thread count.
+pub fn study_with(tier: Tier, exec: &Executor) -> SyntheticStudy {
     let rates = rates(tier);
-    let scenarios = scenario_defs()
-        .into_iter()
-        .map(|(key, label, pattern, process)| {
-            let cfg = SweepConfig {
-                pattern,
-                process,
-                ..sweep_config(tier, rates.clone())
-            };
-            Scenario {
-                key,
-                label,
-                pattern,
-                process,
-                series: Arch::ALL.iter().map(|&a| sweep(a, &cfg)).collect(),
+    let defs = scenario_defs();
+    let cfgs: Vec<SweepConfig> = defs
+        .iter()
+        .map(|&(_, _, pattern, process)| SweepConfig {
+            pattern,
+            process,
+            ..sweep_config(tier, rates.clone())
+        })
+        .collect();
+    let mut jobs: Vec<(usize, Arch, f64)> = Vec::new();
+    for si in 0..defs.len() {
+        for &arch in Arch::ALL.iter() {
+            for &rate in &rates {
+                jobs.push((si, arch, rate));
             }
+        }
+    }
+    let points = exec.map(jobs, |_, (si, arch, rate)| {
+        measure_point(arch, &cfgs[si], rate)
+    });
+
+    let mut it = points.into_iter();
+    let scenarios = defs
+        .into_iter()
+        .map(|(key, label, pattern, process)| Scenario {
+            key,
+            label,
+            pattern,
+            process,
+            series: Arch::ALL
+                .iter()
+                .map(|&arch| ArchSeries {
+                    arch,
+                    pattern,
+                    points: (0..rates.len())
+                        .map(|_| it.next().expect("one result per submitted job"))
+                        .collect(),
+                })
+                .collect(),
         })
         .collect();
     SyntheticStudy {

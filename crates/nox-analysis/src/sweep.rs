@@ -5,6 +5,7 @@
 //! and energy at every point, and locates the saturation point and the
 //! crossovers between architectures that the paper reports in §5.1.
 
+use nox_exec::Executor;
 use nox_power::energy::{energy_delay2, energy_per_packet_pj, EnergyModel};
 use nox_sim::config::{Arch, NetConfig};
 use nox_sim::sim::{run, RunSpec, SimResult};
@@ -82,31 +83,43 @@ impl SweepConfig {
     }
 }
 
-/// Runs a sweep of `arch` under `cfg`.
-pub fn sweep(arch: Arch, cfg: &SweepConfig) -> ArchSeries {
+/// Measures one operating point of `arch` under `cfg` at `rate`: trace
+/// generation, the full measured run, and the derived metrics. Every
+/// point is self-contained (its trace depends only on the configuration
+/// and the rate), which is what lets sweeps fan points out across
+/// threads without changing a single output bit.
+pub fn measure_point(arch: Arch, cfg: &SweepConfig, rate: f64) -> SweepPoint {
     let net = NetConfig::paper(arch);
     let mesh = Mesh::new(net.width, net.height);
     let model = EnergyModel::for_arch(arch);
-    let points = cfg
-        .rates_mbps
-        .iter()
-        .map(|&rate| {
-            let trace = generate(
-                mesh,
-                &SyntheticConfig {
-                    pattern: cfg.pattern,
-                    process: cfg.process,
-                    rate_mbps_per_node: rate,
-                    len: cfg.len,
-                    flit_bytes: net.flit_bytes,
-                    duration_ns: cfg.duration_ns,
-                    seed: cfg.seed,
-                },
-            );
-            let result = run(net, &trace, &cfg.run);
-            point_from_result(rate, result, &model)
-        })
-        .collect();
+    let trace = generate(
+        mesh,
+        &SyntheticConfig {
+            pattern: cfg.pattern,
+            process: cfg.process,
+            rate_mbps_per_node: rate,
+            len: cfg.len,
+            flit_bytes: net.flit_bytes,
+            duration_ns: cfg.duration_ns,
+            seed: cfg.seed,
+        },
+    );
+    let result = run(net, &trace, &cfg.run);
+    point_from_result(rate, result, &model)
+}
+
+/// Runs a sweep of `arch` under `cfg`, serially.
+pub fn sweep(arch: Arch, cfg: &SweepConfig) -> ArchSeries {
+    sweep_with(arch, cfg, &Executor::sequential())
+}
+
+/// Runs a sweep of `arch` under `cfg`, fanning the load points out over
+/// `exec`. Points are reduced in rate order, so the series is
+/// bit-identical to [`sweep`] at any thread count.
+pub fn sweep_with(arch: Arch, cfg: &SweepConfig, exec: &Executor) -> ArchSeries {
+    let points = exec.map(cfg.rates_mbps.clone(), |_, rate| {
+        measure_point(arch, cfg, rate)
+    });
     ArchSeries {
         arch,
         pattern: cfg.pattern,

@@ -1,0 +1,260 @@
+//! Deterministic parallel execution for sweep-style workloads.
+//!
+//! Every harness in this workspace — figure sweeps, fault campaigns, the
+//! bounded model checker — is a map over an indexed list of independent
+//! simulation points. This crate runs that map across a `std::thread`
+//! worker pool while guaranteeing that the *reduction is in submission
+//! order*: the result vector is indexed by the position of the work item,
+//! never by completion time. Any artifact derived by folding the result
+//! vector left-to-right is therefore bit-identical at every thread count,
+//! and `threads = 1` executes the exact same code path as the historical
+//! serial loops.
+//!
+//! There are no dependencies beyond `std` (the workspace builds offline);
+//! workers are scoped threads, so borrowed inputs work without `'static`
+//! bounds.
+//!
+//! # Example
+//!
+//! ```
+//! use nox_exec::Executor;
+//!
+//! let exec = Executor::new(4);
+//! let squares = exec.map(0..10u64, |_, n| n * n);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49, 64, 81]);
+//! // Same bits at any thread count:
+//! assert_eq!(squares, Executor::sequential().map(0..10u64, |_, n| n * n));
+//! ```
+
+use std::sync::Mutex;
+
+/// A fixed-width worker pool that maps closures over indexed work lists
+/// and reduces results in submission order.
+///
+/// The pool is cheap to construct (threads are scoped per call, not kept
+/// alive between calls) — treat it as a value describing *how wide* to
+/// fan out, created once near the CLI entry point and passed down.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Executor {
+    /// An executor that fans out over `threads` workers. A width of zero
+    /// is clamped to one.
+    pub fn new(threads: usize) -> Self {
+        Executor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The single-threaded executor: runs every closure inline, in
+    /// submission order, on the calling thread — byte-for-byte the
+    /// historical serial behavior.
+    pub fn sequential() -> Self {
+        Executor { threads: 1 }
+    }
+
+    /// An executor as wide as the machine
+    /// ([`std::thread::available_parallelism`]), falling back to one
+    /// worker when the parallelism cannot be determined.
+    pub fn available() -> Self {
+        Executor::new(available_parallelism())
+    }
+
+    /// Number of workers this executor fans out over.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items`, returning results **in submission order**.
+    ///
+    /// `f` receives the submission index alongside the item. With more
+    /// than one worker, closures run concurrently on scoped threads; the
+    /// result vector is still indexed by submission slot, so folds over
+    /// it are independent of scheduling. A panic in any closure
+    /// propagates to the caller once the pool joins.
+    pub fn map<T, R, F>(&self, items: impl IntoIterator<Item = T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let items: Vec<T> = items.into_iter().collect();
+        if self.threads == 1 || items.len() <= 1 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| f(i, t))
+                .collect();
+        }
+
+        let n = items.len();
+        let workers = self.threads.min(n);
+        // Shared work queue: each worker pulls the next (index, item) pair
+        // and writes its result into the slot for that index. Work items
+        // are coarse (whole simulation runs), so the mutexes see no
+        // meaningful contention.
+        let queue = Mutex::new(items.into_iter().enumerate());
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| loop {
+                        let next = queue.lock().expect("work queue poisoned").next();
+                        match next {
+                            Some((i, item)) => {
+                                let r = f(i, item);
+                                *slots[i].lock().expect("result slot poisoned") = Some(r);
+                            }
+                            None => break,
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                // Re-raise a worker's panic with its original payload.
+                if let Err(payload) = h.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker exited without filling its slot")
+            })
+            .collect()
+    }
+
+    /// Maps `f` over the index range `0..n` — convenience for work lists
+    /// that are naturally "the i-th point of a grid".
+    pub fn run<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        self.map(0..n, |_, i| f(i))
+    }
+}
+
+impl Default for Executor {
+    /// Defaults to the machine's available parallelism, like the CLI.
+    fn default() -> Self {
+        Executor::available()
+    }
+}
+
+/// The machine's available parallelism, or 1 when it cannot be queried.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Parses a `--threads` CLI value: a positive integer, or the word
+/// `auto` for the machine's available parallelism.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(nox_exec::parse_threads("3"), Ok(3));
+/// assert!(nox_exec::parse_threads("auto").unwrap() >= 1);
+/// assert!(nox_exec::parse_threads("0").is_err());
+/// ```
+pub fn parse_threads(s: &str) -> Result<usize, String> {
+    if s == "auto" {
+        return Ok(available_parallelism());
+    }
+    match s.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!(
+            "invalid --threads value '{s}': expected a positive integer or 'auto'"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_submission_order() {
+        let exec = Executor::new(8);
+        // Stagger completion so late submissions finish first.
+        let out = exec.map(0..64u64, |i, n| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            n * 3 + 1
+        });
+        assert_eq!(out, (0..64u64).map(|n| n * 3 + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bit_for_bit() {
+        let work: Vec<u64> = (0..100).collect();
+        let f = |i: usize, n: u64| format!("{i}:{}", n.wrapping_mul(0x9E37_79B9));
+        let serial = Executor::sequential().map(work.clone(), f);
+        for threads in [2, 3, 8] {
+            assert_eq!(Executor::new(threads).map(work.clone(), f), serial);
+        }
+    }
+
+    #[test]
+    fn all_items_run_exactly_once() {
+        let count = AtomicUsize::new(0);
+        let out = Executor::new(4).run(57, |i| {
+            count.fetch_add(1, Ordering::SeqCst);
+            i
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 57);
+        assert_eq!(out, (0..57).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_width_clamps_to_one_worker() {
+        assert_eq!(Executor::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn empty_and_singleton_work_lists() {
+        let exec = Executor::new(4);
+        assert_eq!(exec.map(Vec::<u32>::new(), |_, x| x), Vec::<u32>::new());
+        assert_eq!(exec.map(vec![42], |i, x| (i, x)), vec![(0, 42)]);
+    }
+
+    #[test]
+    fn borrows_non_static_inputs() {
+        let data = [1u32, 2, 3];
+        let slice = &data[..];
+        let out = Executor::new(2).run(slice.len(), |i| slice[i] * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        Executor::new(4).run(8, |i| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn parse_threads_accepts_auto_and_integers() {
+        assert_eq!(parse_threads("1"), Ok(1));
+        assert_eq!(parse_threads("16"), Ok(16));
+        assert!(parse_threads("auto").unwrap() >= 1);
+        assert!(parse_threads("0").is_err());
+        assert!(parse_threads("-2").is_err());
+        assert!(parse_threads("four").is_err());
+    }
+}

@@ -111,17 +111,21 @@ impl LogHistogram {
         self.min_value * self.ratio.powf(self.counts.len() as f64)
     }
 
-    /// The value at the given percentile (0 < p <= 100), or 0 for an
-    /// empty histogram. Returns the geometric centre of the bucket
-    /// holding the percentile sample.
+    /// The value at the given percentile (0 < p <= 100): the geometric
+    /// centre of the bucket holding the percentile sample.
     ///
-    /// # Panics
-    ///
-    /// Panics if `p` is outside `(0, 100]`.
+    /// Returns `NaN` — never panics, never a fabricated value — when the
+    /// query is unanswerable: an empty histogram has no percentiles, and
+    /// a `NaN` or out-of-range `p` is not a percentile. `NaN` serializes
+    /// as `null` in the analysis JSON writer, so artifacts distinguish
+    /// "no data" from a measured 0.
     pub fn percentile(&self, p: f64) -> f64 {
-        assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
+        if !(p > 0.0 && p <= 100.0) {
+            // Catches NaN too: every comparison with NaN is false.
+            return f64::NAN;
+        }
         if self.total == 0 {
-            return 0.0;
+            return f64::NAN;
         }
         let target = ((p / 100.0) * self.total as f64).ceil() as u64;
         let mut seen = self.underflow;
@@ -224,10 +228,10 @@ mod tests {
     }
 
     #[test]
-    fn empty_histogram_percentiles_are_zero_everywhere() {
+    fn empty_histogram_percentiles_are_nan_everywhere() {
         let h = LogHistogram::default_latency();
         for p in [0.1, 25.0, 50.0, 95.0, 99.0, 100.0] {
-            assert_eq!(h.percentile(p), 0.0);
+            assert!(h.percentile(p).is_nan(), "p{p} of empty must be NaN");
         }
         assert_eq!(h.underflow_count(), 0);
         assert_eq!(h.overflow_count(), 0);
@@ -271,15 +275,22 @@ mod tests {
     #[test]
     fn empty_histogram_is_safe() {
         let h = LogHistogram::default_latency();
-        assert_eq!(h.percentile(99.0), 0.0);
+        assert!(h.percentile(99.0).is_nan());
         assert_eq!(h.count(), 0);
     }
 
     #[test]
-    #[should_panic(expected = "percentile must be in")]
-    fn zero_percentile_rejected() {
-        let h = LogHistogram::default_latency();
-        let _ = h.percentile(0.0);
+    fn invalid_percentile_arguments_return_nan() {
+        let mut h = LogHistogram::default_latency();
+        h.record(5.0);
+        for bad in [0.0, -1.0, 100.5, 1e9, f64::NAN, f64::NEG_INFINITY] {
+            assert!(h.percentile(bad).is_nan(), "percentile({bad}) must be NaN");
+        }
+        // Infinity is also out of (0, 100].
+        assert!(h.percentile(f64::INFINITY).is_nan());
+        // Valid queries still answer.
+        assert!(h.percentile(50.0).is_finite());
+        assert!(h.percentile(100.0).is_finite());
     }
 
     #[test]

@@ -648,12 +648,23 @@ impl Router {
 
     /// Consumes a serviced flit at input `i`: commits the decode action,
     /// pops the FIFO as required, and returns the freed slot's credit.
-    fn service_input(&mut self, i: PortId, p: &Presented, ctx: &mut TickCtx<'_>) {
+    ///
+    /// Takes only the decode action and tail flag (not the whole
+    /// [`Presented`]) so callers never clone the presented word — the
+    /// word itself has already moved onto the link in
+    /// [`drive_link`](Self::drive_link).
+    fn service_input(
+        &mut self,
+        i: PortId,
+        action: DecodeAction,
+        tail: bool,
+        ctx: &mut TickCtx<'_>,
+    ) {
         let input = &mut self.inputs[i.index()];
         ctx.counters.buffer_reads += 1;
-        match p.action {
+        match action {
             DecodeAction::Pass => {
-                input.pop(p.info.tail);
+                input.pop(tail);
                 input.decoder.commit(DecodeAction::Pass, None);
                 if !self.topo.is_local(i) {
                     ctx.credits.push(CreditReturn {
@@ -688,19 +699,26 @@ impl Router {
         &mut self,
         out: PortId,
         drive: PortSet,
-        presented: &[Option<Presented>],
+        presented: &mut [Option<Presented>],
         ctx: &mut TickCtx<'_>,
     ) {
-        let word: Word = drive
-            .iter()
-            .map(|i| {
-                presented[i.index()]
-                    .as_ref()
-                    .expect("engine drove an input that presented nothing")
-                    .word
-                    .clone()
-            })
-            .collect();
+        // Move (never clone) each driven word out of the presented table:
+        // an input presents toward exactly one output per cycle, and
+        // servicing afterwards reads only the decode action and tail
+        // flag. In the common single-input case the word reaches the
+        // link with zero allocations.
+        let mut word: Option<Word> = None;
+        for i in drive.iter() {
+            let p = presented[i.index()]
+                .as_mut()
+                .expect("engine drove an input that presented nothing");
+            let w = std::mem::replace(&mut p.word, Word::empty());
+            word = Some(match word {
+                None => w,
+                Some(acc) => acc.xor(&w),
+            });
+        }
+        let word = word.expect("engine drove an empty input set");
         let op = &mut self.outputs[out.index()];
         assert!(op.connected, "drove a word onto an unconnected port");
         assert!(op.credits > 0, "drove a word without downstream credit");
@@ -719,7 +737,7 @@ impl Router {
 
     #[allow(clippy::needless_range_loop)] // indices couple reqs[o] with self.outputs[o]
     fn tick_nox(&mut self, ctx: &mut TickCtx<'_>) {
-        let presented = self.collect_presented(ctx);
+        let mut presented = self.collect_presented(ctx);
         let (reqs, _) = self.request_sets(&presented);
         for o in 0..self.outputs.len() {
             if self.outputs[o].credits == 0 {
@@ -750,14 +768,13 @@ impl Router {
                     ctx.counters.encoded_transfers += 1;
                     ctx.probe_encoded(self.node, PortId(o as u8), d.drive.len() as u8);
                 }
-                self.drive_link(PortId(o as u8), d.drive, &presented, ctx);
+                self.drive_link(PortId(o as u8), d.drive, &mut presented, ctx);
             }
             for i in d.serviced.iter() {
                 let p = presented[i.index()]
                     .as_ref()
-                    .expect("NoX engine serviced an input that presented nothing")
-                    .clone();
-                self.service_input(i, &p, ctx);
+                    .expect("NoX engine serviced an input that presented nothing");
+                self.service_input(i, p.action, p.info.tail, ctx);
             }
         }
     }
@@ -766,7 +783,7 @@ impl Router {
 
     #[allow(clippy::needless_range_loop)]
     fn tick_spec(&mut self, ctx: &mut TickCtx<'_>) {
-        let presented = self.collect_presented(ctx);
+        let mut presented = self.collect_presented(ctx);
         let (reqs, fresh) = self.request_sets(&presented);
         for o in 0..self.outputs.len() {
             if self.outputs[o].credits == 0 {
@@ -794,12 +811,11 @@ impl Router {
                 ctx.counters.wasted_reservations += 1;
             }
             if let Some(i) = d.drive {
-                self.drive_link(PortId(o as u8), PortSet::single(i), &presented, ctx);
+                self.drive_link(PortId(o as u8), PortSet::single(i), &mut presented, ctx);
                 let p = presented[i.index()]
                     .as_ref()
-                    .expect("spec engine granted an input that presented nothing")
-                    .clone();
-                self.service_input(i, &p, ctx);
+                    .expect("spec engine granted an input that presented nothing");
+                self.service_input(i, p.action, p.info.tail, ctx);
             }
         }
     }
@@ -808,7 +824,7 @@ impl Router {
 
     #[allow(clippy::needless_range_loop)]
     fn tick_nonspec(&mut self, ctx: &mut TickCtx<'_>) {
-        let presented = self.collect_presented(ctx);
+        let mut presented = self.collect_presented(ctx);
         let (reqs, _) = self.request_sets(&presented);
         for o in 0..self.outputs.len() {
             if self.outputs[o].credits == 0 {
@@ -823,12 +839,11 @@ impl Router {
                 ctx.counters.arbitrations += 1;
             }
             if let Some(i) = d.drive {
-                self.drive_link(PortId(o as u8), PortSet::single(i), &presented, ctx);
+                self.drive_link(PortId(o as u8), PortSet::single(i), &mut presented, ctx);
                 let p = presented[i.index()]
                     .as_ref()
-                    .expect("sequential engine granted an input that presented nothing")
-                    .clone();
-                self.service_input(i, &p, ctx);
+                    .expect("sequential engine granted an input that presented nothing");
+                self.service_input(i, p.action, p.info.tail, ctx);
             }
         }
     }

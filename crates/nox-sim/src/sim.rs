@@ -75,11 +75,9 @@ impl SimResult {
         self.latency_ns.mean()
     }
 
-    /// The given latency percentile (e.g. 99.0) in nanoseconds.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `p` is outside `(0, 100]`.
+    /// The given latency percentile (e.g. 99.0) in nanoseconds, or `NaN`
+    /// when no measured packet ejected or `p` is outside `(0, 100]` (see
+    /// [`LogHistogram::percentile`]).
     pub fn latency_percentile_ns(&self, p: f64) -> f64 {
         self.latency_hist.percentile(p)
     }

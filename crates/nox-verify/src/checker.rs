@@ -8,6 +8,7 @@ use std::collections::{HashSet, VecDeque};
 use crate::model::{Model, Violation, ViolationKind};
 use crate::mutation::Mutation;
 use crate::scenario::{scenarios, Bounds, Scenario};
+use nox_exec::Executor;
 
 /// Exploration result for one scenario.
 #[derive(Clone, Debug)]
@@ -119,12 +120,21 @@ pub fn check_scenario(
 /// unmutated FSMs. A clean report is a bounded proof of the protocol
 /// invariants.
 pub fn check(bounds: &Bounds) -> CheckReport {
+    check_with(bounds, &Executor::sequential())
+}
+
+/// Runs the scenario sweep of [`check`] with each scenario's exploration
+/// fanned out over `exec`. Every scenario explores an independent state
+/// space, and the serial sweep never stops early across scenarios, so
+/// the ordered reduction makes this report bit-identical to the serial
+/// one at any thread count.
+pub fn check_with(bounds: &Bounds, exec: &Executor) -> CheckReport {
+    let reports = exec.map(scenarios(bounds), |_, sc| check_scenario(&sc, bounds, None));
     let mut report = CheckReport {
         exhausted: true,
         ..CheckReport::default()
     };
-    for sc in scenarios(bounds) {
-        let r = check_scenario(&sc, bounds, None);
+    for r in reports {
         report.scenarios += 1;
         report.states += r.states;
         report.exhausted &= r.exhausted;
@@ -158,10 +168,18 @@ pub fn check_mutation(bounds: &Bounds, mutation: Mutation) -> MutationReport {
 /// Runs every documented mutation through the checker. Each must be
 /// caught; a surviving mutation means an invariant has lost its teeth.
 pub fn mutation_smoke(bounds: &Bounds) -> Vec<MutationReport> {
-    Mutation::ALL
-        .iter()
-        .map(|&m| check_mutation(bounds, m))
-        .collect()
+    mutation_smoke_with(bounds, &Executor::sequential())
+}
+
+/// Runs the mutation smoke sweep with one job per mutation over `exec`.
+/// Each mutation's *inner* scenario sweep stays serial — it stops at the
+/// first catching scenario, and that early exit is part of the reported
+/// state count — so every `MutationReport` is bit-identical to the
+/// serial [`mutation_smoke`] at any thread count.
+pub fn mutation_smoke_with(bounds: &Bounds, exec: &Executor) -> Vec<MutationReport> {
+    exec.map(Mutation::ALL.iter().copied(), |_, m| {
+        check_mutation(bounds, m)
+    })
 }
 
 /// Sanity marker: the kinds a liveness probe may legitimately report.

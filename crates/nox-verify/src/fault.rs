@@ -30,6 +30,7 @@
 //! leans on `nox-fault`'s linearity unit proofs for the rest.
 
 use nox_core::{Coded, DecodeAction, DecodePlan, Decoder, Xor};
+use nox_exec::Executor;
 use nox_fault::crc8;
 
 /// A link word as the protected hardware carries it: the 64-bit payload
@@ -229,11 +230,17 @@ fn base_payload(base: usize, k: u64) -> u64 {
 /// a silently-wrong flit, over every chain shape, strike position, and
 /// single-bit mask within `bounds`.
 pub fn check_decoder_crc(bounds: &FaultBounds) -> FaultCheckReport {
+    check_decoder_crc_with(bounds, &Executor::sequential())
+}
+
+/// Runs the exhaustive sweep of [`check_decoder_crc`] sharded by chain
+/// shape over `exec`. Each shard enumerates one shape's full (payload
+/// base, strike, mask) space independently; the shards merge additively
+/// in shape order (the serial iteration order), so counters, fan-out
+/// maximum, and the violation list are bit-identical to the serial sweep
+/// at any thread count.
+pub fn check_decoder_crc_with(bounds: &FaultBounds, exec: &Executor) -> FaultCheckReport {
     let shapes = chain_shapes(bounds.max_total_flits, bounds.max_arity);
-    let mut report = FaultCheckReport {
-        shapes: shapes.len(),
-        ..FaultCheckReport::default()
-    };
 
     // Single-bit strikes on the payload band, then on the sideband band.
     let masks: Vec<Word> = (0..64)
@@ -247,58 +254,78 @@ pub fn check_decoder_crc(bounds: &FaultBounds) -> FaultCheckReport {
         }))
         .collect();
 
-    for shape in &shapes {
-        for base in 0..3 {
-            // Ground truth and the fault-free received stream.
-            let mut key = 0u64;
-            let mut stream: Vec<Coded<Word>> = Vec::new();
-            for &arity in shape {
-                let flits: Vec<Coded<Word>> = (0..arity)
-                    .map(|_| {
-                        key += 1;
-                        Coded::plain(key, Word::fresh(base_payload(base, key)))
-                    })
-                    .collect();
-                stream.extend(chain_stream(&flits));
-            }
-            let truth = |k: u64| base_payload(base, k);
+    let partials = exec.map(shapes.iter(), |_, shape| sweep_shape(shape, &masks));
+    let mut report = FaultCheckReport {
+        shapes: shapes.len(),
+        ..FaultCheckReport::default()
+    };
+    for p in partials {
+        report.cases += p.cases;
+        report.presented += p.presented;
+        report.corrupted += p.corrupted;
+        report.flagged += p.flagged;
+        report.false_flags += p.false_flags;
+        report.max_fanout = report.max_fanout.max(p.max_fanout);
+        report.violations.extend(p.violations);
+    }
+    report
+}
 
-            for strike in 0..stream.len() {
-                for mask in &masks {
-                    report.cases += 1;
-                    let mut faulted = stream.clone();
-                    faulted[strike].corrupt_payload(mask);
+/// One shard of the exhaustive sweep: every (payload base, strike, mask)
+/// case of a single chain shape, reported as a partial
+/// [`FaultCheckReport`] (with `shapes` left zero for the merge).
+fn sweep_shape(shape: &[u16], masks: &[Word]) -> FaultCheckReport {
+    let mut report = FaultCheckReport::default();
+    for base in 0..3 {
+        // Ground truth and the fault-free received stream.
+        let mut key = 0u64;
+        let mut stream: Vec<Coded<Word>> = Vec::new();
+        for &arity in shape {
+            let flits: Vec<Coded<Word>> = (0..arity)
+                .map(|_| {
+                    key += 1;
+                    Coded::plain(key, Word::fresh(base_payload(base, key)))
+                })
+                .collect();
+            stream.extend(chain_stream(&flits));
+        }
+        let truth = |k: u64| base_payload(base, k);
 
-                    let mut fanout = 0u32;
-                    for word in drain(faulted) {
-                        report.presented += 1;
-                        let k = word.sole_key().expect("decoder presented a non-plain word");
-                        let actual = word.payload().payload;
-                        let corrupted = actual != truth(k);
-                        let flagged = !word.payload().crc_ok();
-                        if corrupted {
-                            report.corrupted += 1;
-                            fanout += 1;
-                            if flagged {
-                                report.flagged += 1;
-                            } else {
-                                report.violations.push(FaultViolation {
-                                    label: format!(
-                                        "shape={shape:?} base={base} strike={strike} \
-                                         mask={:#x}/{:#x}",
-                                        mask.payload, mask.crc
-                                    ),
-                                    key: k,
-                                    expected: truth(k),
-                                    actual,
-                                });
-                            }
-                        } else if flagged {
-                            report.false_flags += 1;
+        for strike in 0..stream.len() {
+            for mask in masks {
+                report.cases += 1;
+                let mut faulted = stream.clone();
+                faulted[strike].corrupt_payload(mask);
+
+                let mut fanout = 0u32;
+                for word in drain(faulted) {
+                    report.presented += 1;
+                    let k = word.sole_key().expect("decoder presented a non-plain word");
+                    let actual = word.payload().payload;
+                    let corrupted = actual != truth(k);
+                    let flagged = !word.payload().crc_ok();
+                    if corrupted {
+                        report.corrupted += 1;
+                        fanout += 1;
+                        if flagged {
+                            report.flagged += 1;
+                        } else {
+                            report.violations.push(FaultViolation {
+                                label: format!(
+                                    "shape={shape:?} base={base} strike={strike} \
+                                     mask={:#x}/{:#x}",
+                                    mask.payload, mask.crc
+                                ),
+                                key: k,
+                                expected: truth(k),
+                                actual,
+                            });
                         }
+                    } else if flagged {
+                        report.false_flags += 1;
                     }
-                    report.max_fanout = report.max_fanout.max(fanout);
                 }
+                report.max_fanout = report.max_fanout.max(fanout);
             }
         }
     }

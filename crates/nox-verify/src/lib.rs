@@ -76,10 +76,12 @@ pub mod mutation;
 pub mod scenario;
 
 pub use checker::{
-    check, check_mutation, check_scenario, mutation_smoke, CheckReport, MutationReport,
-    ScenarioReport,
+    check, check_mutation, check_scenario, check_with, mutation_smoke, mutation_smoke_with,
+    CheckReport, MutationReport, ScenarioReport,
 };
-pub use fault::{check_decoder_crc, FaultBounds, FaultCheckReport, FaultViolation};
+pub use fault::{
+    check_decoder_crc, check_decoder_crc_with, FaultBounds, FaultCheckReport, FaultViolation,
+};
 pub use model::{EnvChoice, Model, Violation, ViolationKind};
 pub use mutation::Mutation;
 pub use scenario::{scenarios, Bounds, Flit, Scenario};

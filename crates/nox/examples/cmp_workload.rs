@@ -65,7 +65,10 @@ fn main() {
     }
     println!("{table}");
 
-    let nox = results.iter().find(|r| r.arch == Arch::Nox).unwrap();
+    let Some(nox) = results.iter().find(|r| r.arch == Arch::Nox) else {
+        eprintln!("error: no NoX result row — run_workload produced no data for Arch::Nox");
+        std::process::exit(1);
+    };
     for r in &results {
         if r.arch != Arch::Nox {
             println!(

@@ -73,7 +73,11 @@ fn word(name: char) -> Coded<u64> {
 fn names(keys: &[u64]) -> String {
     let glyphs: Vec<String> = keys
         .iter()
-        .map(|&k| char::from_u32(k as u32).unwrap().to_string())
+        .map(|&k| {
+            char::from_u32(k as u32)
+                .expect("word keys are packet-name characters by construction")
+                .to_string()
+        })
         .collect();
     glyphs.join("^")
 }
@@ -92,7 +96,7 @@ fn main() {
         let driven: Vec<Coded<u64>> = d
             .drive
             .iter()
-            .map(|i| word(ps[i.index()].head().unwrap()))
+            .map(|i| word(ps[i.index()].head().expect("engine drove an empty port")))
             .collect();
         let out_word: Coded<u64> = driven.into_iter().collect();
         let label = if d.drive.is_empty() {
@@ -119,7 +123,9 @@ fn main() {
         let line = match dec.plan(fifo.front()) {
             DecodePlan::Idle => "-".to_string(),
             DecodePlan::Latch => {
-                let w = fifo.pop_front().unwrap();
+                let w = fifo
+                    .pop_front()
+                    .expect("decoder planned a latch on an empty FIFO");
                 let s = format!("latch {} into decode register", names(w.keys()));
                 dec.latch(w);
                 s
@@ -132,7 +138,10 @@ fn main() {
                         None
                     }
                     DecodeAction::DecodeKeep => None,
-                    DecodeAction::DecodeShift => Some(fifo.pop_front().unwrap()),
+                    DecodeAction::DecodeShift => Some(
+                        fifo.pop_front()
+                            .expect("DecodeShift needs a FIFO head to shift in"),
+                    ),
                 };
                 dec.commit(action, popped);
                 s

@@ -10,13 +10,20 @@
 //! noxsim replay  --trace FILE [--arch A] [--cmesh] [--probe] [--probe-out FILE]
 //!                [--wave NODE] [--chrome FILE]
 //! noxsim heatmap [--arch A] [--rate MBPS] [--pattern P] [--len N] [--cmesh]
-//! noxsim verify  [--quick]
+//! noxsim verify  [--quick] [--threads N]
 //! noxsim claims  [--quick|--smoke|--full] [--out FILE] [--baseline FILE]
-//!                [--update-baseline]
-//! noxsim faults  [--quick|--smoke|--full] [--json] [--out FILE]
+//!                [--update-baseline] [--threads N]
+//! noxsim faults  [--quick|--smoke|--full] [--json] [--out FILE] [--threads N]
 //! noxsim bench-compare OLD.json NEW.json [--threshold PCT]
 //! noxsim info
 //! ```
+//!
+//! `--threads N` fans the heavy sweeps (`verify`, `claims`, `faults`) out
+//! over a deterministic worker pool ([`nox::exec`]); results reduce in
+//! submission order, so every table, claim status, and JSON artifact is
+//! bit-identical at any thread count. `N` defaults to the machine's
+//! available parallelism; `--threads 1` runs everything inline on the
+//! calling thread, exactly as the serial code paths always have.
 //!
 //! The probe flags need the `probe` cargo feature
 //! (`cargo run --features probe --bin noxsim -- ...`); without it they
@@ -105,6 +112,9 @@ fn usage() {
          \n\
          common flags: --arch all|nonspec|fast|acc|nox   --cmesh   --csv\n\
          \n\
+         verify/claims/faults: --threads N|auto  deterministic worker pool (default:\n\
+           all cores; artifacts are bit-identical at any thread count)\n\
+         \n\
          telemetry (sweep/app/replay, needs a build with --features probe):\n\
            --probe            attach the cycle-level probe; print the JSON run report\n\
            --probe-out FILE   write the JSON run report to FILE instead\n\
@@ -169,6 +179,18 @@ fn f64_opt(opts: &Opts, key: &str, default: f64) -> Result<f64, String> {
     match opts.get(key) {
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| format!("--{key}: bad number {v:?}")),
+    }
+}
+
+/// The worker pool selected by `--threads` (default: all available
+/// cores). Every fan-out it drives reduces in submission order, so the
+/// thread count never changes any output.
+fn executor(opts: &Opts) -> Result<nox::exec::Executor, String> {
+    match opts.get("threads") {
+        None => Ok(nox::exec::Executor::default()),
+        Some(v) => nox::exec::parse_threads(v)
+            .map(nox::exec::Executor::new)
+            .map_err(|e| format!("--threads: {e}")),
     }
 }
 
@@ -582,21 +604,24 @@ mod probe_cli {
 }
 
 fn cmd_verify(opts: &Opts) -> Result<(), String> {
-    use nox::verify::{check, mutation_smoke, scenarios, Bounds};
+    use nox::verify::{check_with, mutation_smoke_with, scenarios, Bounds};
 
+    let exec = executor(opts)?;
     let bounds = if opts.contains_key("quick") {
         Bounds::quick()
     } else {
         Bounds::full()
     };
     println!(
-        "== bounded model check: {} scenarios (<= {} inputs, <= {} flits, depths {:?}) ==",
+        "== bounded model check: {} scenarios (<= {} inputs, <= {} flits, depths {:?}, \
+         {} thread(s)) ==",
         scenarios(&bounds).len(),
         bounds.max_inputs,
         bounds.max_total_flits,
-        bounds.depths
+        bounds.depths,
+        exec.threads()
     );
-    let report = check(&bounds);
+    let report = check_with(&bounds, &exec);
     println!(
         "explored {} states across {} scenarios; exhausted: {}",
         report.states, report.scenarios, report.exhausted
@@ -617,7 +642,7 @@ fn cmd_verify(opts: &Opts) -> Result<(), String> {
 
     println!("== mutation smoke: each disabled rule must be caught ==");
     let mut missed = 0;
-    for m in mutation_smoke(&bounds) {
+    for m in mutation_smoke_with(&bounds, &exec) {
         match &m.caught {
             Some(v) => println!(
                 "caught  {:<24} ({}) as {} after {} states",
@@ -641,16 +666,16 @@ fn cmd_verify(opts: &Opts) -> Result<(), String> {
     }
     println!("all mutations caught: the invariants have teeth\n");
 
-    fault_invariant()?;
+    fault_invariant(&exec)?;
 
     sanitized_smoke(opts)
 }
 
-fn fault_invariant() -> Result<(), String> {
-    use nox::verify::{check_decoder_crc, FaultBounds};
+fn fault_invariant(exec: &nox::exec::Executor) -> Result<(), String> {
+    use nox::verify::{check_decoder_crc_with, FaultBounds};
 
     println!("== fault invariant I7: CRC shields every single-bit link strike ==");
-    let report = check_decoder_crc(&FaultBounds::quick());
+    let report = check_decoder_crc_with(&FaultBounds::quick(), exec);
     println!(
         "{} chain shapes, {} strike cases, {} presentations: {} corrupted, {} flagged, \
          max fan-out {}",
@@ -732,11 +757,14 @@ fn cmd_claims(opts: &Opts) -> Result<(), String> {
     } else {
         Tier::Quick
     };
+    let exec = executor(opts)?;
     eprintln!(
-        "gathering claim inputs at the {} tier (timing, synthetic sweeps, apps, power, area)...",
-        tier.name()
+        "gathering claim inputs at the {} tier (timing, synthetic sweeps, apps, power, area) \
+         on {} thread(s)...",
+        tier.name(),
+        exec.threads()
     );
-    let report = evaluate(&ClaimInputs::gather(tier));
+    let report = evaluate(&ClaimInputs::gather_with(tier, &exec));
     print!("{}", report.render());
 
     let out = opts
@@ -807,11 +835,14 @@ fn cmd_faults(opts: &Opts) -> Result<(), String> {
     } else {
         Tier::Quick
     };
+    let exec = executor(opts)?;
     eprintln!(
-        "running fault campaigns at the {} tier (bit-flip sweep x 4 architectures x 2 modes)...",
-        tier.name()
+        "running fault campaigns at the {} tier (bit-flip sweep x 4 architectures x 2 modes) \
+         on {} thread(s)...",
+        tier.name(),
+        exec.threads()
     );
-    let study = faults::run(tier);
+    let study = faults::run_with(tier, &exec);
     let doc = format!("{}\n", study.to_json());
     if opts.contains_key("json") {
         print!("{doc}");

@@ -13,6 +13,7 @@
 //! | [`traffic`] | synthetic patterns, self-similar Pareto sources, CMP coherence synthesizer |
 //! | [`power`] | channel, logical-effort timing (Table 2), event-energy (Fig 12), area (Fig 13) |
 //! | [`analysis`] | sweeps, saturation/crossover detection, application runs, tables |
+//! | [`exec`] | deterministic parallel executor: ordered reduction over a thread pool |
 //! | [`verify`] | bounded model checker for the protocol invariants + mutation smoke |
 //!
 //! # Quickstart
@@ -44,6 +45,7 @@
 
 pub use nox_analysis as analysis;
 pub use nox_core as core;
+pub use nox_exec as exec;
 #[cfg(feature = "faults")]
 pub use nox_fault as fault;
 pub use nox_power as power;

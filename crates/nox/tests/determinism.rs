@@ -1,6 +1,9 @@
 //! Reproducibility: every layer of the stack is deterministic given its
-//! seeds, so any experiment in this repository can be re-run bit for bit.
+//! seeds, so any experiment in this repository can be re-run bit for bit
+//! — including through the `nox-exec` worker pool, whose submission-order
+//! reduction must keep every artifact byte-identical at any thread count.
 
+use nox::exec::Executor;
 use nox::prelude::*;
 use nox::sim::network::Network;
 use nox::sim::sim::run;
@@ -44,6 +47,83 @@ fn eject_logs_are_reproducible() {
         net.eject_log().unwrap().to_vec()
     };
     assert_eq!(run_once(), run_once());
+}
+
+#[test]
+fn sweeps_are_thread_count_invariant() {
+    use nox::analysis::sweep::{sweep, sweep_with};
+
+    let cfg = SweepConfig {
+        duration_ns: 8_000.0,
+        run: RunSpec {
+            warmup_ns: 500.0,
+            measure_ns: 2_000.0,
+            drain_ns: 8_000.0,
+        },
+        ..SweepConfig::uniform(vec![400.0, 900.0, 1_400.0])
+    };
+    let serial = format!("{:?}", sweep(Arch::Nox, &cfg));
+    for threads in [2, 8] {
+        let parallel = format!("{:?}", sweep_with(Arch::Nox, &cfg, &Executor::new(threads)));
+        assert_eq!(serial, parallel, "sweep diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn faults_artifact_is_thread_count_invariant() {
+    use nox::analysis::harness::faults;
+    use nox::analysis::Tier;
+
+    let artifact = |exec: &Executor| faults::run_with(Tier::Smoke, exec).to_json().to_string();
+    let serial = artifact(&Executor::sequential());
+    for threads in [2, 8] {
+        assert_eq!(
+            serial,
+            artifact(&Executor::new(threads)),
+            "faults artifact diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn model_checker_reports_are_thread_count_invariant() {
+    use nox::verify::{check_decoder_crc_with, check_with, Bounds, FaultBounds};
+
+    let bounds = Bounds::quick();
+    let serial = check_with(&bounds, &Executor::sequential());
+    let fault_serial = check_decoder_crc_with(&FaultBounds::quick(), &Executor::sequential());
+    for threads in [2, 8] {
+        let exec = Executor::new(threads);
+        let r = check_with(&bounds, &exec);
+        assert_eq!(serial.scenarios, r.scenarios);
+        assert_eq!(
+            serial.states, r.states,
+            "states diverged at {threads} threads"
+        );
+        assert_eq!(serial.exhausted, r.exhausted);
+        assert_eq!(
+            format!("{:?}", serial.violations),
+            format!("{:?}", r.violations)
+        );
+
+        let f = check_decoder_crc_with(&FaultBounds::quick(), &exec);
+        assert_eq!(
+            (
+                fault_serial.cases,
+                fault_serial.presented,
+                fault_serial.corrupted
+            ),
+            (f.cases, f.presented, f.corrupted),
+            "I7 counters diverged at {threads} threads"
+        );
+        assert_eq!(fault_serial.flagged, f.flagged);
+        assert_eq!(fault_serial.false_flags, f.false_flags);
+        assert_eq!(fault_serial.max_fanout, f.max_fanout);
+        assert_eq!(
+            format!("{:?}", fault_serial.violations),
+            format!("{:?}", f.violations)
+        );
+    }
 }
 
 #[test]
