@@ -5,7 +5,7 @@
 //! are exercised by `noxsim claims --smoke` in CI, not here; these tests
 //! must stay fast enough for the default `cargo test` tier.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use nox_analysis::claims::REGISTRY;
 use nox_analysis::harness::{fig13, figs237, table1, table2};
@@ -50,7 +50,7 @@ fn every_registry_claim_is_cited_in_experiments_md() {
 
 #[test]
 fn every_numeric_experiments_table_row_carries_a_known_claim_id() {
-    let known: HashSet<&str> = REGISTRY.iter().map(|s| s.id).collect();
+    let known: BTreeSet<&str> = REGISTRY.iter().map(|s| s.id).collect();
     let text = experiments_md();
     let mut tagged_rows = 0;
     for line in text.lines() {

@@ -59,7 +59,9 @@ impl Executor {
     /// ([`std::thread::available_parallelism`]), falling back to one
     /// worker when the parallelism cannot be determined.
     pub fn available() -> Self {
-        Executor::new(available_parallelism())
+        // Thread count only sizes the pool; `map`'s ordered reduction
+        // keeps results identical at any width.
+        Executor::new(available_parallelism()) // detlint: allow(thread_count)
     }
 
     /// Number of workers this executor fans out over.
@@ -150,8 +152,11 @@ impl Default for Executor {
 }
 
 /// The machine's available parallelism, or 1 when it cannot be queried.
+// The one sanctioned query point: it decides only how wide Executor
+// pools fan out, never what they emit.
+// detlint: allow(thread_count)
 pub fn available_parallelism() -> usize {
-    std::thread::available_parallelism()
+    std::thread::available_parallelism() // detlint: allow(thread_count)
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
 }
@@ -168,7 +173,7 @@ pub fn available_parallelism() -> usize {
 /// ```
 pub fn parse_threads(s: &str) -> Result<usize, String> {
     if s == "auto" {
-        return Ok(available_parallelism());
+        return Ok(available_parallelism()); // detlint: allow(thread_count)
     }
     match s.parse::<usize>() {
         Ok(n) if n >= 1 => Ok(n),

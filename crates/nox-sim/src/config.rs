@@ -9,7 +9,10 @@
 use std::fmt;
 
 /// The four router architectures evaluated in the paper.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+///
+/// `Ord` follows declaration order — the paper's presentation order —
+/// so the architectures key ordered containers deterministically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Arch {
     /// Sequential baseline: switch arbitration then switch traversal (§3.1.1).
     NonSpec,
@@ -96,6 +99,11 @@ pub struct NetConfig {
     /// Cores per router: 1 for the paper's mesh, 2..=4 for the
     /// concentrated-mesh future-work study.
     pub concentration: u8,
+    /// Use the wraparound ring topology of `width` routers instead of a
+    /// grid (requires `height == 1` and `concentration == 1`). The
+    /// shortest-path ring routing is knowingly deadlock-prone; see
+    /// [`crate::routing::route_ring`].
+    pub ring: bool,
     /// Router architecture to instantiate.
     pub arch: Arch,
     /// Input buffer depth in flits per port (Table 1: 4).
@@ -122,6 +130,7 @@ impl NetConfig {
             width: 8,
             height: 8,
             concentration: 1,
+            ring: false,
             arch,
             buffer_depth: 4,
             flit_bytes: 8,
@@ -153,9 +162,22 @@ impl NetConfig {
         }
     }
 
+    /// A wraparound ring of `n` routers, otherwise Table 1 parameters.
+    /// The analyzer's (and simulator's) concrete deadlock-prone instance.
+    pub fn ring(arch: Arch, n: u8) -> Self {
+        NetConfig {
+            width: n,
+            height: 1,
+            ring: true,
+            ..Self::paper(arch)
+        }
+    }
+
     /// The topology this configuration describes.
     pub fn topology(&self) -> crate::topology::Topology {
-        if self.concentration <= 1 {
+        if self.ring {
+            crate::topology::Topology::ring(self.width)
+        } else if self.concentration <= 1 {
             crate::topology::Topology::mesh(self.width, self.height)
         } else {
             crate::topology::Topology::cmesh(self.width, self.height, self.concentration)
@@ -192,6 +214,14 @@ impl NetConfig {
         }
         if self.concentration == 0 || self.concentration > 4 {
             return Err("concentration must be 1..=4".into());
+        }
+        if self.ring {
+            if self.height != 1 || self.concentration != 1 {
+                return Err("ring topology requires height 1 and concentration 1".into());
+            }
+            if self.width < 3 {
+                return Err("ring topology needs at least 3 routers".into());
+            }
         }
         Ok(())
     }
@@ -276,5 +306,24 @@ mod tests {
         let mut c = NetConfig::paper(Arch::Nox);
         c.width = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn ring_preset_builds_a_ring() {
+        let c = NetConfig::ring(Arch::Nox, 8);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.nodes(), 8);
+        assert_eq!(c.topology().kind(), crate::topology::TopologyKind::Ring);
+    }
+
+    #[test]
+    fn ring_validation_constraints() {
+        let mut c = NetConfig::ring(Arch::Nox, 8);
+        c.height = 2;
+        assert!(c.validate().is_err());
+        let mut c = NetConfig::ring(Arch::Nox, 8);
+        c.concentration = 2;
+        assert!(c.validate().is_err());
+        assert!(NetConfig::ring(Arch::Nox, 2).validate().is_err());
     }
 }

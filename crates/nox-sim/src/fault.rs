@@ -34,7 +34,7 @@
 //! XOR chain amplifies — one flipped payload bit on an encoded word
 //! corrupts *every* flit decoded from that chain.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use nox_core::PortId;
 pub use nox_fault::{
@@ -126,16 +126,16 @@ pub struct FaultState {
     /// All logical packets, indexed by registration order.
     logicals: Vec<Logical>,
     /// Physical attempt (PacketId) to logical index.
-    by_packet: HashMap<PacketId, usize>,
+    by_packet: BTreeMap<PacketId, usize>,
     /// Flit keys tagged at bit-flip injection time, for detection-latency
     /// measurement: key -> injection cycle.
-    corrupt_since: HashMap<u64, u64>,
+    corrupt_since: BTreeMap<u64, u64>,
     /// Credits to swallow per (node, output port) — the balancing side of
     /// a duplication fault, whose second copy occupied an uncredited slot.
-    swallow: HashMap<(u16, u8), u64>,
+    swallow: BTreeMap<(u16, u8), u64>,
     /// Pinned output port per (node, packet), so a mid-campaign dead-link
     /// detour cannot split a wormhole packet across two paths.
-    route_cache: HashMap<(u16, u64), PortId>,
+    route_cache: BTreeMap<(u16, u64), PortId>,
     /// Progress-counter snapshot for the deadlock watchdog.
     watchdog_last_progress: u64,
     /// Cycle at which progress last advanced.
@@ -155,10 +155,10 @@ impl FaultState {
             stats: FaultStats::default(),
             cur_cycle: 0,
             logicals: Vec::new(),
-            by_packet: HashMap::new(),
-            corrupt_since: HashMap::new(),
-            swallow: HashMap::new(),
-            route_cache: HashMap::new(),
+            by_packet: BTreeMap::new(),
+            corrupt_since: BTreeMap::new(),
+            swallow: BTreeMap::new(),
+            route_cache: BTreeMap::new(),
             watchdog_last_progress: 0,
             watchdog_stall_since: 0,
         }
@@ -501,7 +501,7 @@ impl FaultState {
             let Some((neighbour, _)) = topo.link_dest(node, p) else {
                 continue;
             };
-            let d = topo.grid().hops(neighbour, dest_router);
+            let d = topo.router_hops(neighbour, dest_router);
             if best.is_none_or(|(bd, _)| d < bd) {
                 best = Some((d, p));
             }

@@ -15,7 +15,7 @@
 //! are asserted continuously, so any router bug aborts the simulation
 //! rather than silently skewing results.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 #[cfg(feature = "faults")]
@@ -53,7 +53,8 @@ pub struct Network {
     /// kept on the network only to recycle its allocation across cycles.
     credit_scratch: Vec<CreditReturn>,
     /// Next expected flit sequence per partially-received packet.
-    expected_seq: HashMap<PacketId, u16>,
+    /// Ordered so any future iteration is deterministic (detlint policy).
+    expected_seq: BTreeMap<PacketId, u16>,
     latency_measured: LatencyStats,
     latency_all: LatencyStats,
     hist_measured: LogHistogram,
@@ -129,7 +130,7 @@ impl Network {
             in_flight: Vec::new(),
             credits_in_flight: VecDeque::new(),
             credit_scratch: Vec::new(),
-            expected_seq: HashMap::new(),
+            expected_seq: BTreeMap::new(),
             latency_measured: LatencyStats::new(),
             latency_all: LatencyStats::new(),
             hist_measured: LogHistogram::default_latency(),
@@ -635,12 +636,11 @@ impl Network {
             (c.node, c.input)
         } else {
             // Input port `c.input` of router `c.node` is fed by the
-            // neighbour in that direction; the credit belongs to the
-            // neighbour's opposite output port.
+            // neighbour in that direction (wraparound-aware on rings); the
+            // credit belongs to the neighbour's opposite output port.
             let dir = self.topo.port_direction(c.input);
             let upstream = self
                 .topo
-                .grid()
                 .neighbor(c.node, dir)
                 .expect("credit for an unconnected port");
             (upstream, self.topo.direction_port(dir.opposite()))
@@ -827,7 +827,7 @@ impl Network {
 
         // Flit conservation: every word anywhere in the network
         // contributes its constituent flit keys.
-        let mut live: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut live: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
         for r in &self.routers {
             for p in 0..r.ports() {
                 let ip = r.input(PortId(p));

@@ -26,7 +26,7 @@
 //! With the feature enabled but no probe attached, each hook is a single
 //! `Option` test on a cold branch.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 use nox_core::{Mode, PortId};
@@ -241,7 +241,7 @@ pub struct Probe {
     saturation_onset: Option<u64>,
     events: VecDeque<TraceEvent>,
     events_dropped: u64,
-    inject_cycle: HashMap<PacketId, u64>,
+    inject_cycle: BTreeMap<PacketId, u64>,
     breakdown: LatencyBreakdown,
     sink_occupancy_sum: u64,
 }
@@ -266,7 +266,7 @@ impl Probe {
             saturation_onset: None,
             events: VecDeque::with_capacity(cfg.ring_capacity.min(4_096)),
             events_dropped: 0,
-            inject_cycle: HashMap::new(),
+            inject_cycle: BTreeMap::new(),
             breakdown: LatencyBreakdown::default(),
             sink_occupancy_sum: 0,
         }

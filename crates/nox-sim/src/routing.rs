@@ -41,6 +41,41 @@ pub fn route_xy(mesh: Mesh, cur: NodeId, dest: NodeId) -> Port {
     }
 }
 
+/// The output port a flit at `cur` must take toward `dest` on an
+/// `n`-router ring under shortest-path routing, ties broken East.
+/// Returns [`Port::Local`] when `cur == dest`.
+///
+/// Note this routing function is deliberately *unrestricted*: with the
+/// wraparound link every East (and every West) channel participates in a
+/// channel-dependency cycle, so the network can deadlock under saturating
+/// traffic. The `nox-statics` analyzer proves exactly that and produces
+/// the witness cycle; a deadlock-free ring needs an escape resource
+/// (e.g. a dateline virtual channel), which this minimal seed omits.
+///
+/// # Example
+///
+/// ```
+/// use nox_sim::routing::route_ring;
+/// use nox_sim::topology::{NodeId, Port};
+///
+/// assert_eq!(route_ring(8, NodeId(7), NodeId(0)), Port::East); // wrap
+/// assert_eq!(route_ring(8, NodeId(1), NodeId(7)), Port::West);
+/// assert_eq!(route_ring(8, NodeId(3), NodeId(3)), Port::Local);
+/// ```
+pub fn route_ring(n: u8, cur: NodeId, dest: NodeId) -> Port {
+    let n = n as u16;
+    debug_assert!(cur.0 < n && dest.0 < n, "node outside ring");
+    if cur == dest {
+        return Port::Local;
+    }
+    let east = (dest.0 + n - cur.0) % n;
+    if east <= n - east {
+        Port::East
+    } else {
+        Port::West
+    }
+}
+
 /// The full XY path from `src` to `dest`, excluding `src`, including
 /// `dest`. Useful for tests and analytical models.
 pub fn path_xy(mesh: Mesh, src: NodeId, dest: NodeId) -> Vec<NodeId> {
@@ -91,6 +126,34 @@ mod tests {
         let m = Mesh::new(8, 8);
         let p = path_xy(m, NodeId(3), NodeId(60));
         assert_eq!(*p.last().unwrap(), NodeId(60));
+    }
+
+    #[test]
+    fn ring_routes_are_minimal_and_never_reverse() {
+        // Every route reaches its destination within floor(n/2) hops and
+        // never changes direction along the way.
+        for n in [3u8, 4, 5, 8] {
+            for s in 0..n as u16 {
+                for d in 0..n as u16 {
+                    let mut cur = NodeId(s);
+                    let mut first = None;
+                    let mut steps = 0u16;
+                    while cur != NodeId(d) {
+                        let port = route_ring(n, cur, NodeId(d));
+                        assert_ne!(port, Port::Local);
+                        assert_eq!(*first.get_or_insert(port), port, "n={n} {s}->{d} reversed");
+                        let m = n as u16;
+                        cur = match port {
+                            Port::East => NodeId((cur.0 + 1) % m),
+                            Port::West => NodeId((cur.0 + m - 1) % m),
+                            _ => unreachable!("ring routes only E/W"),
+                        };
+                        steps += 1;
+                        assert!(steps <= n as u16 / 2, "n={n} {s}->{d} not minimal");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! views and panics on the first audit failure, in keeping with the
 //! simulator's fail-fast assertion style.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::config::Arch;
 use crate::stats::Counters;
@@ -46,7 +46,7 @@ pub struct CreditLoopView {
 /// Checks that live flit keys exactly account for the injected-minus-
 /// ejected difference. `live_keys` is the set of distinct flit keys
 /// appearing anywhere in the network (buffers, decode registers, links).
-pub fn check_flit_conservation(c: &Counters, live_keys: &HashSet<u64>) -> Result<(), String> {
+pub fn check_flit_conservation(c: &Counters, live_keys: &BTreeSet<u64>) -> Result<(), String> {
     let in_network = c.flits_injected - c.flits_ejected;
     if live_keys.len() as u64 != in_network {
         return Err(format!(
@@ -141,7 +141,7 @@ mod tests {
         let mut c = counters();
         c.flits_injected = 5;
         c.flits_ejected = 2;
-        let live: HashSet<u64> = [10, 11, 12].into_iter().collect();
+        let live: BTreeSet<u64> = [10, 11, 12].into_iter().collect();
         assert!(check_flit_conservation(&c, &live).is_ok());
     }
 
@@ -150,7 +150,7 @@ mod tests {
         let mut c = counters();
         c.flits_injected = 3;
         c.flits_ejected = 0;
-        let live: HashSet<u64> = [10, 11].into_iter().collect();
+        let live: BTreeSet<u64> = [10, 11].into_iter().collect();
         let err = check_flit_conservation(&c, &live).unwrap_err();
         assert!(err.contains("flit conservation broken"), "{err}");
     }

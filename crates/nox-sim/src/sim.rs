@@ -218,7 +218,7 @@ mod tests {
     fn zero_load_latency_ranks_by_clock_and_pipeline() {
         // A single-flit packet crossing 6 hops with no contention:
         // single-cycle routers take ~1 cycle/hop, the sequential router ~2.
-        let mut lat = std::collections::HashMap::new();
+        let mut lat = std::collections::BTreeMap::new();
         for arch in Arch::ALL {
             let res = run(
                 NetConfig::small(arch),

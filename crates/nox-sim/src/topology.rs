@@ -297,6 +297,13 @@ pub enum TopologyKind {
         /// Cores per router (2..=4).
         concentration: u8,
     },
+    /// Unidirectional-pair ring: `n` five-port routers in a cycle, with the
+    /// East/West links wrapping around. Shortest-path routing on this
+    /// topology is *not* deadlock-free (the wraparound closes a channel
+    /// dependency cycle) — it exists as the concrete unsafe instance for
+    /// the `nox-statics` channel-dependency analyzer and as the seed of the
+    /// ROADMAP's torus/ring expansion.
+    Ring,
 }
 
 /// A router-grid topology with per-core endpoints.
@@ -355,6 +362,22 @@ impl Topology {
         }
     }
 
+    /// A ring of `n` five-port routers, one core each, with wraparound
+    /// East/West links (the North/South ports stay unwired).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`: a 2-ring would wire two parallel links between
+    /// the same router pair, which the port-indexed link model cannot
+    /// represent.
+    pub fn ring(n: u8) -> Self {
+        assert!(n >= 3, "ring needs at least 3 routers, got {n}");
+        Topology {
+            kind: TopologyKind::Ring,
+            grid: Mesh::new(n, 1),
+        }
+    }
+
     /// The topology family.
     pub fn kind(&self) -> TopologyKind {
         self.kind
@@ -373,7 +396,7 @@ impl Topology {
     /// Cores per router (local ports).
     pub fn n_locals(&self) -> u8 {
         match self.kind {
-            TopologyKind::Mesh => 1,
+            TopologyKind::Mesh | TopologyKind::Ring => 1,
             TopologyKind::CMesh { concentration } => concentration,
         }
     }
@@ -442,25 +465,51 @@ impl Topology {
         }
     }
 
+    /// The neighbouring router in direction `dir`, or `None` where no link
+    /// exists. Unlike [`Mesh::neighbor`] this is wraparound-aware: on a
+    /// ring, East from the last router lands on router 0.
+    pub fn neighbor(&self, router: NodeId, dir: Port) -> Option<NodeId> {
+        match self.kind {
+            TopologyKind::Ring => {
+                let n = self.grid.width() as u16;
+                debug_assert!(router.0 < n, "router {router} outside ring");
+                match dir {
+                    Port::East => Some(NodeId((router.0 + 1) % n)),
+                    Port::West => Some(NodeId((router.0 + n - 1) % n)),
+                    _ => None,
+                }
+            }
+            TopologyKind::Mesh | TopologyKind::CMesh { .. } => self.grid.neighbor(router, dir),
+        }
+    }
+
     /// Where a router output port's link lands: `(router, input port)` of
-    /// the neighbour, or `None` for local ports and mesh edges.
+    /// the neighbour, or `None` for local ports and unwired directions.
     pub fn link_dest(&self, router: NodeId, out: PortId) -> Option<(NodeId, PortId)> {
         if self.is_local(out) {
             return None;
         }
         let dir = self.port_direction(out);
-        let nb = self.grid.neighbor(router, dir)?;
+        let nb = self.neighbor(router, dir)?;
         Some((nb, self.direction_port(dir.opposite())))
     }
 
-    /// XY dimension-ordered route: the output port a flit at `router`
-    /// takes toward `dest_core`.
+    /// The deterministic route: the output port a flit at `router` takes
+    /// toward `dest_core`. XY dimension order on grids, shortest path
+    /// (ties broken East) on rings.
     pub fn route(&self, router: NodeId, dest_core: NodeId) -> PortId {
         let dest_router = self.router_of(dest_core);
         if dest_router == router {
             return self.local_port(dest_core);
         }
-        let dir = crate::routing::route_xy(self.grid, router, dest_router);
+        let dir = match self.kind {
+            TopologyKind::Ring => {
+                crate::routing::route_ring(self.grid.width(), router, dest_router)
+            }
+            TopologyKind::Mesh | TopologyKind::CMesh { .. } => {
+                crate::routing::route_xy(self.grid, router, dest_router)
+            }
+        };
         self.direction_port(dir)
     }
 
@@ -471,9 +520,22 @@ impl Topology {
         2.0 * (self.n_locals() as f64).sqrt()
     }
 
+    /// Hop distance between two *routers* along the routing function's
+    /// path: Manhattan on grids, shortest way around on rings.
+    pub fn router_hops(&self, a: NodeId, b: NodeId) -> u32 {
+        match self.kind {
+            TopologyKind::Ring => {
+                let n = self.grid.width() as u16;
+                let east = (b.0 + n - a.0) % n;
+                east.min(n - east) as u32
+            }
+            TopologyKind::Mesh | TopologyKind::CMesh { .. } => self.grid.hops(a, b),
+        }
+    }
+
     /// Router-to-router hop distance between two cores' routers.
     pub fn hops(&self, a: NodeId, b: NodeId) -> u32 {
-        self.grid.hops(self.router_of(a), self.router_of(b))
+        self.router_hops(self.router_of(a), self.router_of(b))
     }
 }
 
@@ -554,5 +616,67 @@ mod topology_tests {
     #[should_panic(expected = "concentration must be")]
     fn oversized_concentration_rejected() {
         let _ = Topology::cmesh(4, 4, 9);
+    }
+
+    #[test]
+    fn ring_wraps_east_and_west() {
+        let t = Topology::ring(8);
+        assert_eq!(t.neighbor(NodeId(7), Port::East), Some(NodeId(0)));
+        assert_eq!(t.neighbor(NodeId(0), Port::West), Some(NodeId(7)));
+        assert_eq!(t.neighbor(NodeId(3), Port::North), None);
+        assert_eq!(t.neighbor(NodeId(3), Port::South), None);
+    }
+
+    #[test]
+    fn ring_link_wiring_is_symmetric() {
+        let t = Topology::ring(5);
+        for r in t.grid().iter() {
+            for port in 0..t.ports() {
+                if let Some((nb, inp)) = t.link_dest(r, PortId(port)) {
+                    let dir_back = t.port_direction(inp);
+                    let (back, back_in) = t.link_dest(nb, t.direction_port(dir_back)).unwrap();
+                    assert_eq!(back, r);
+                    assert_eq!(back_in, PortId(port));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_routes_shortest_way_around() {
+        let t = Topology::ring(8);
+        // 1 hop East beats 7 hops West.
+        assert_eq!(t.port_direction(t.route(NodeId(7), NodeId(0))), Port::East);
+        // 2 hops West beats 6 hops East.
+        assert_eq!(t.port_direction(t.route(NodeId(1), NodeId(7))), Port::West);
+        // Antipodal tie breaks East.
+        assert_eq!(t.port_direction(t.route(NodeId(2), NodeId(6))), Port::East);
+        assert_eq!(t.router_hops(NodeId(7), NodeId(1)), 2);
+        assert_eq!(t.hops(NodeId(2), NodeId(6)), 4);
+    }
+
+    #[test]
+    fn ring_routes_terminate_at_destination() {
+        let t = Topology::ring(7);
+        for s in 0..7u16 {
+            for d in 0..7u16 {
+                let mut cur = NodeId(s);
+                let mut steps = 0;
+                while cur != NodeId(d) {
+                    let out = t.route(cur, NodeId(d));
+                    cur = t.link_dest(cur, out).unwrap().0;
+                    steps += 1;
+                    assert!(steps <= 7, "route {s}->{d} did not terminate");
+                }
+                assert_eq!(steps, t.router_hops(NodeId(s), NodeId(d)));
+                assert!(t.is_local(t.route(cur, NodeId(d))));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 routers")]
+    fn tiny_ring_rejected() {
+        let _ = Topology::ring(2);
     }
 }

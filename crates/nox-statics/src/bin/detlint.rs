@@ -1,0 +1,43 @@
+//! Workspace determinism lint: `detlint [PATH ...]`.
+//!
+//! Scans `.rs` sources for determinism hazards (see
+//! [`nox_statics::lint`]) and exits non-zero when any finding survives
+//! the `// detlint: allow(...)` escape hatch — the CI gate. With no
+//! arguments, scans `crates/`. Directory walks skip `fixtures/`
+//! directories; naming a fixture file explicitly scans it anyway, which
+//! is how CI proves the lint still fires on a seeded violation.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let roots: Vec<String> = if args.is_empty() {
+        vec!["crates".to_string()]
+    } else {
+        args
+    };
+
+    let mut findings = Vec::new();
+    for root in &roots {
+        match nox_statics::lint::scan_path(Path::new(root)) {
+            Ok(f) => findings.extend(f),
+            Err(e) => {
+                eprintln!("error: {root}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    findings.sort();
+
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("detlint: clean ({} root(s) scanned)", roots.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("detlint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

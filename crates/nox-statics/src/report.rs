@@ -1,0 +1,396 @@
+//! The `nox-bench/statics/v1` artifact: the standard design-analysis
+//! suite, its gating verdict, and the deterministic JSON rendering.
+//!
+//! The writer is self-contained (this crate sits *below* `nox-analysis`
+//! in the dependency graph, so it cannot borrow that crate's JSON
+//! module): ASCII-escaped strings, shortest-roundtrip float formatting,
+//! fields emitted in fixed order. Byte-identical output at any
+//! `--threads` width is part of the contract and is tested.
+
+use nox_exec::Executor;
+use nox_sim::config::{Arch, NetConfig};
+use nox_sim::topology::{Topology, TopologyKind};
+
+use crate::cdg;
+use crate::credit::{check_credits, CreditCheck};
+
+/// Schema identifier of the statics artifact.
+pub const SCHEMA: &str = "nox-bench/statics/v1";
+
+/// The deadlock analysis of one topology × routing function.
+#[derive(Clone, Debug)]
+pub struct DesignAnalysis {
+    /// Suite entry label, e.g. `mesh8x8-xy`.
+    pub name: String,
+    /// Topology description, e.g. `mesh 8x8`.
+    pub topology: String,
+    /// Routing function description.
+    pub routing: String,
+    /// Whether the suite expects this instance to be deadlock-free.
+    pub expect_safe: bool,
+    /// Router count.
+    pub routers: usize,
+    /// CDG node count (directed inter-router channels in use).
+    pub channels: usize,
+    /// CDG edge count.
+    pub edges: usize,
+    /// Number of cyclic strongly connected components.
+    pub cyclic_sccs: usize,
+    /// The Dally-Seitz verdict: CDG acyclic.
+    pub deadlock_free: bool,
+    /// One concrete witness cycle per cyclic SCC (channel labels).
+    pub witnesses: Vec<Vec<String>>,
+    /// Routes walked during extraction.
+    pub routes_walked: usize,
+    /// Longest route observed, in hops.
+    pub max_route_hops: u32,
+}
+
+/// Analyzes one topology and packages the result for the report.
+pub fn analyze_topology(
+    name: &str,
+    topo: &Topology,
+    expect_safe: bool,
+    exec: &Executor,
+) -> DesignAnalysis {
+    let cdg = cdg::extract(topo, exec);
+    let witnesses = cdg
+        .witnesses()
+        .iter()
+        .map(|w| {
+            cdg.validate_witness(topo, w)
+                .expect("extractor produced an invalid witness");
+            w.channels.iter().map(|c| c.label(topo)).collect()
+        })
+        .collect();
+    DesignAnalysis {
+        name: name.to_string(),
+        topology: describe_topology(topo),
+        routing: match topo.kind() {
+            TopologyKind::Ring => "ring-shortest-path".to_string(),
+            _ => "xy-dor".to_string(),
+        },
+        expect_safe,
+        routers: topo.routers(),
+        channels: cdg.channels.len(),
+        edges: cdg.edges.len(),
+        cyclic_sccs: cdg.cyclic_sccs().len(),
+        deadlock_free: cdg.deadlock_free(),
+        witnesses,
+        routes_walked: cdg.routes_walked,
+        max_route_hops: cdg.max_route_hops,
+    }
+}
+
+fn describe_topology(topo: &Topology) -> String {
+    let g = topo.grid();
+    match topo.kind() {
+        TopologyKind::Mesh => format!("mesh {}x{}", g.width(), g.height()),
+        TopologyKind::CMesh { concentration } => {
+            format!("cmesh {}x{}x{}", g.width(), g.height(), concentration)
+        }
+        TopologyKind::Ring => format!("ring {}", g.width()),
+    }
+}
+
+/// The full statics report: design analyses plus credit-sizing checks.
+#[derive(Clone, Debug)]
+pub struct StaticsReport {
+    /// Deadlock analyses, in suite order.
+    pub analyses: Vec<DesignAnalysis>,
+    /// Credit-sizing checks, in suite order.
+    pub credits: Vec<CreditCheck>,
+}
+
+/// The standard suite: the paper's mesh (safe), the small test mesh
+/// (safe), the concentrated mesh (safe), and the unrestricted ring
+/// (unsafe, with witness); credit checks over every Table 1 architecture
+/// plus one deliberately undersized configuration that must be flagged.
+pub fn standard_report(exec: &Executor) -> StaticsReport {
+    let analyses = vec![
+        analyze_topology("mesh8x8-xy", &Topology::mesh(8, 8), true, exec),
+        analyze_topology("mesh4x4-xy", &Topology::mesh(4, 4), true, exec),
+        analyze_topology("cmesh4x4x4-xy", &Topology::cmesh(4, 4, 4), true, exec),
+        analyze_topology("ring8-shortest", &Topology::ring(8), false, exec),
+    ];
+    let mut credits: Vec<CreditCheck> = Arch::ALL
+        .iter()
+        .map(|&a| {
+            check_credits(
+                &format!("paper-{}", a.name().to_ascii_lowercase()),
+                &NetConfig::paper(a),
+                true,
+            )
+        })
+        .collect();
+    credits.push(check_credits(
+        "ring8-paper-buffers",
+        &NetConfig::ring(Arch::Nox, 8),
+        true,
+    ));
+    let mut undersized = NetConfig::paper(Arch::Nox);
+    undersized.credit_delay = 6;
+    credits.push(check_credits("undersized-demo", &undersized, false));
+    StaticsReport { analyses, credits }
+}
+
+impl StaticsReport {
+    /// The gating verdict: every analysis matches its expectation, every
+    /// unsafe instance carries at least one witness cycle, and every
+    /// credit check matches its expected soundness.
+    pub fn verdict_ok(&self) -> bool {
+        self.analyses.iter().all(|a| {
+            a.deadlock_free == a.expect_safe && (a.deadlock_free || !a.witnesses.is_empty())
+        }) && self.credits.iter().all(|c| c.sound == c.expect_sound)
+    }
+
+    /// Human-readable rendering for the CLI.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("channel-dependency analysis (Dally-Seitz):\n");
+        for a in &self.analyses {
+            let verdict = if a.deadlock_free {
+                "deadlock-free"
+            } else {
+                "DEADLOCK-PRONE"
+            };
+            let status = if a.deadlock_free == a.expect_safe {
+                "ok"
+            } else {
+                "UNEXPECTED"
+            };
+            out.push_str(&format!(
+                "  {:<16} {:<12} {:<18} {} [{}]: {} channels, {} edges, {} cyclic SCCs\n",
+                a.name, a.topology, a.routing, verdict, status, a.channels, a.edges, a.cyclic_sccs
+            ));
+            for w in &a.witnesses {
+                out.push_str(&format!("    witness cycle: {}\n", w.join(" -> ")));
+            }
+        }
+        out.push_str("credit sizing (round trip = 2 + credit_delay cycles):\n");
+        for c in &self.credits {
+            out.push_str(&format!(
+                "  {:<20} depth {} vs round-trip {}: {} (max link duty {:.2})\n",
+                c.name,
+                c.buffer_depth,
+                c.round_trip,
+                if c.sound { "sound" } else { "UNDERSIZED" },
+                c.max_link_duty
+            ));
+        }
+        out.push_str(&format!(
+            "verdict: {}\n",
+            if self.verdict_ok() { "PASS" } else { "FAIL" }
+        ));
+        out
+    }
+
+    /// The `nox-bench/statics/v1` JSON artifact. Deterministic: fixed
+    /// field order, sorted content, no floats beyond shortest-roundtrip
+    /// duty ratios, no timestamps.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.raw("{");
+        w.str_field("schema", SCHEMA);
+        w.raw(",\"analyses\":[");
+        for (i, a) in self.analyses.iter().enumerate() {
+            if i > 0 {
+                w.raw(",");
+            }
+            w.raw("{");
+            w.str_field("name", &a.name);
+            w.raw(",");
+            w.str_field("topology", &a.topology);
+            w.raw(",");
+            w.str_field("routing", &a.routing);
+            w.raw(",");
+            w.bool_field("expect_safe", a.expect_safe);
+            w.raw(",");
+            w.uint_field("routers", a.routers as u64);
+            w.raw(",");
+            w.uint_field("channels", a.channels as u64);
+            w.raw(",");
+            w.uint_field("edges", a.edges as u64);
+            w.raw(",");
+            w.uint_field("cyclic_sccs", a.cyclic_sccs as u64);
+            w.raw(",");
+            w.bool_field("deadlock_free", a.deadlock_free);
+            w.raw(",");
+            w.uint_field("routes_walked", a.routes_walked as u64);
+            w.raw(",");
+            w.uint_field("max_route_hops", a.max_route_hops as u64);
+            w.raw(",\"witness_cycles\":[");
+            for (j, cycle) in a.witnesses.iter().enumerate() {
+                if j > 0 {
+                    w.raw(",");
+                }
+                w.raw("[");
+                for (k, ch) in cycle.iter().enumerate() {
+                    if k > 0 {
+                        w.raw(",");
+                    }
+                    w.string(ch);
+                }
+                w.raw("]");
+            }
+            w.raw("]}");
+        }
+        w.raw("],\"credit_checks\":[");
+        for (i, c) in self.credits.iter().enumerate() {
+            if i > 0 {
+                w.raw(",");
+            }
+            w.raw("{");
+            w.str_field("name", &c.name);
+            w.raw(",");
+            w.str_field("arch", &c.arch);
+            w.raw(",");
+            w.uint_field("buffer_depth", c.buffer_depth as u64);
+            w.raw(",");
+            w.uint_field("credit_delay", c.credit_delay);
+            w.raw(",");
+            w.uint_field("round_trip_cycles", c.round_trip);
+            w.raw(",");
+            w.bool_field("sound", c.sound);
+            w.raw(",");
+            w.bool_field("expect_sound", c.expect_sound);
+            w.raw(",");
+            w.float_field("max_link_duty", c.max_link_duty);
+            w.raw("}");
+        }
+        w.raw("],");
+        w.bool_field("verdict_ok", self.verdict_ok());
+        w.raw("}\n");
+        w.finish()
+    }
+}
+
+/// Minimal deterministic JSON assembly: the caller controls structure,
+/// the writer only guarantees escaping and canonical number formatting.
+struct JsonWriter {
+    buf: String,
+}
+
+impl JsonWriter {
+    fn new() -> Self {
+        JsonWriter { buf: String::new() }
+    }
+
+    fn raw(&mut self, s: &str) {
+        self.buf.push_str(s);
+    }
+
+    fn string(&mut self, s: &str) {
+        self.buf.push('"');
+        for ch in s.chars() {
+            match ch {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                '\t' => self.buf.push_str("\\t"),
+                '\r' => self.buf.push_str("\\r"),
+                c if (c as u32) < 0x20 => {
+                    self.buf.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+    }
+
+    fn str_field(&mut self, key: &str, val: &str) {
+        self.string(key);
+        self.buf.push(':');
+        self.string(val);
+    }
+
+    fn uint_field(&mut self, key: &str, val: u64) {
+        self.string(key);
+        self.buf.push_str(&format!(":{val}"));
+    }
+
+    fn bool_field(&mut self, key: &str, val: bool) {
+        self.string(key);
+        self.buf.push_str(if val { ":true" } else { ":false" });
+    }
+
+    /// Shortest-roundtrip decimal, always with a decimal point or
+    /// exponent so readers see a float.
+    fn float_field(&mut self, key: &str, val: f64) {
+        self.string(key);
+        let s = format!("{val}");
+        let s = if s.contains('.') || s.contains('e') {
+            s
+        } else {
+            format!("{s}.0")
+        };
+        self.buf.push(':');
+        self.buf.push_str(&s);
+    }
+
+    fn finish(self) -> String {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_suite_verdict_passes() {
+        let r = standard_report(&Executor::sequential());
+        assert!(r.verdict_ok(), "{}", r.render());
+        // The mesh entries are provably safe with zero cycles...
+        for a in &r.analyses[..3] {
+            assert!(a.deadlock_free);
+            assert_eq!(a.cyclic_sccs, 0);
+            assert!(a.witnesses.is_empty());
+        }
+        // ...and the ring carries concrete witnesses.
+        let ring = &r.analyses[3];
+        assert!(!ring.deadlock_free);
+        assert!(!ring.witnesses.is_empty());
+        // The undersized demo is flagged, as expected.
+        let demo = r.credits.last().unwrap();
+        assert!(!demo.sound && !demo.expect_sound);
+    }
+
+    #[test]
+    fn json_is_byte_identical_across_thread_counts() {
+        let baseline = standard_report(&Executor::sequential()).to_json();
+        for threads in [2, 8] {
+            assert_eq!(
+                standard_report(&Executor::new(threads)).to_json(),
+                baseline,
+                "statics artifact must not depend on --threads"
+            );
+        }
+    }
+
+    #[test]
+    fn json_shape_is_sane() {
+        let j = standard_report(&Executor::sequential()).to_json();
+        assert!(j.starts_with("{\"schema\":\"nox-bench/statics/v1\""));
+        assert!(j.contains("\"witness_cycles\":[["));
+        assert!(j.contains("\"verdict_ok\":true"));
+        assert!(j.ends_with("}\n"));
+    }
+
+    #[test]
+    fn render_mentions_witness_and_verdict() {
+        let r = standard_report(&Executor::sequential());
+        let txt = r.render();
+        assert!(txt.contains("witness cycle:"));
+        assert!(txt.contains("verdict: PASS"));
+        assert!(txt.contains("DEADLOCK-PRONE"));
+        assert!(txt.contains("UNDERSIZED"));
+    }
+
+    #[test]
+    fn string_escaping_is_correct() {
+        let mut w = JsonWriter::new();
+        w.string("a\"b\\c\nd");
+        assert_eq!(w.finish(), r#""a\"b\\c\nd""#);
+    }
+}

@@ -1,0 +1,19 @@
+//! Deliberately nondeterministic code: the CI gate runs `detlint` on
+//! this file and asserts that it FAILS. Never compiled into any target;
+//! directory walks skip `fixtures/`, so only an explicit scan sees it.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn unstable_summary() -> String {
+    let mut counts: HashMap<String, u32> = HashMap::new();
+    counts.insert("a".into(), 1);
+    counts.insert("b".into(), 2);
+    let mut out = String::new();
+    for (k, v) in counts.iter() {
+        out.push_str(&format!("{k}={v};"));
+    }
+    let t = Instant::now();
+    let width = std::thread::available_parallelism().map_or(1, |n| n.get());
+    format!("{out} width={width} took {:?}", t.elapsed())
+}

@@ -1,0 +1,49 @@
+//! The two halves of the lint gate, as tests: the workspace itself must
+//! scan clean, and the seeded fixture must still trip every rule (so the
+//! gate cannot silently rot into a no-op).
+
+use std::path::{Path, PathBuf};
+
+use nox_statics::lint::{scan_path, Rule};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+#[test]
+fn workspace_crates_scan_clean() {
+    let findings = scan_path(&workspace_root().join("crates")).expect("scan crates/");
+    assert!(
+        findings.is_empty(),
+        "determinism lint findings in the workspace:\n{}",
+        findings
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn seeded_fixture_trips_every_rule() {
+    let fixture = workspace_root().join("crates/nox-statics/tests/fixtures/seeded_violations.rs");
+    let findings = scan_path(&fixture).expect("scan fixture");
+    for rule in Rule::ALL {
+        assert!(
+            findings.iter().any(|f| f.rule == rule),
+            "fixture no longer trips {rule}: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn directory_walks_skip_fixtures() {
+    let findings = scan_path(&workspace_root().join("crates/nox-statics")).expect("scan");
+    assert!(
+        findings.is_empty(),
+        "fixtures/ must be skipped during walks: {findings:?}"
+    );
+}

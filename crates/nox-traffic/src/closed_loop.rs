@@ -118,8 +118,8 @@ pub fn run_closed_loop(
     // Request packet -> miss bookkeeping; reply packet -> same. Background
     // packets (invalidations, acks, writebacks) are not tracked: they load
     // the networks but gate nothing.
-    let mut by_request: std::collections::HashMap<u64, (MissState, bool)> = Default::default();
-    let mut by_reply: std::collections::HashMap<u64, MissState> = Default::default();
+    let mut by_request: std::collections::BTreeMap<u64, (MissState, bool)> = Default::default();
+    let mut by_reply: std::collections::BTreeMap<u64, MissState> = Default::default();
     // Replies waiting for their service latency:
     // (inject_at_cycle, home, miss, upgrade).
     let mut pending_replies: std::collections::VecDeque<(u64, NodeId, MissState, bool)> =

@@ -173,7 +173,7 @@ mod tests {
     fn uniform_never_self_and_covers_mesh() {
         let mut rng = StdRng::seed_from_u64(1);
         let m = mesh8();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..2000 {
             let d = Pattern::UniformRandom.dest(m, NodeId(5), &mut rng).unwrap();
             assert_ne!(d, NodeId(5));

@@ -11,6 +11,8 @@
 //!                [--wave NODE] [--chrome FILE]
 //! noxsim heatmap [--arch A] [--rate MBPS] [--pattern P] [--len N] [--cmesh]
 //! noxsim verify  [--quick] [--threads N]
+//! noxsim statics [--json] [--out FILE] [--threads N]
+//! noxsim lint    [PATH ...]
 //! noxsim claims  [--quick|--smoke|--full] [--out FILE] [--baseline FILE]
 //!                [--update-baseline] [--threads N]
 //! noxsim faults  [--quick|--smoke|--full] [--json] [--out FILE] [--threads N]
@@ -29,7 +31,7 @@
 //! (`cargo run --features probe --bin noxsim -- ...`); without it they
 //! fail with a pointer to the feature rather than silently doing nothing.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use nox::analysis::apps::{app_run_spec, run_workload};
@@ -50,7 +52,7 @@ fn main() -> ExitCode {
     // `bench-compare` takes positional artifact paths ahead of its flags;
     // every other command is flags-only (parse_opts rejects bare args).
     let (positional, flags) = match cmd.as_str() {
-        "bench-compare" => {
+        "bench-compare" | "lint" => {
             let n = rest
                 .iter()
                 .position(|a| a.starts_with("--"))
@@ -74,6 +76,8 @@ fn main() -> ExitCode {
         "replay" => cmd_replay(&opts),
         "heatmap" => cmd_heatmap(&opts),
         "verify" => cmd_verify(&opts),
+        "statics" => cmd_statics(&opts),
+        "lint" => cmd_lint(positional, &opts),
         "claims" => cmd_claims(&opts),
         "faults" => cmd_faults(&opts),
         "bench-compare" => cmd_bench_compare(positional, &opts),
@@ -105,6 +109,8 @@ fn usage() {
            replay   run a trace file through a network\n\
            heatmap  per-router utilization/occupancy grids (needs --features probe)\n\
            verify   model-check invariants + sanitized sweep (--quick: fast CI bounds)\n\
+           statics  static design analysis: deadlock CDG proofs + credit sizing (--json, --out FILE)\n\
+           lint     determinism lint over .rs sources (default root: crates/)\n\
            claims   evaluate the paper-conformance registry and diff CLAIMS_BASELINE.json (--smoke/--full tiers, --update-baseline re-pins)\n\
            faults   fault-injection campaigns: XOR-chain fragility + CRC/retransmission recovery (--json, --out FILE)\n\
            bench-compare OLD.json NEW.json  diff two perf artifacts (--threshold PCT, default 10)\n\
@@ -125,7 +131,7 @@ fn usage() {
     );
 }
 
-type Opts = HashMap<String, String>;
+type Opts = BTreeMap<String, String>;
 
 fn parse_opts(rest: &[String]) -> Result<Opts, String> {
     let mut opts = Opts::new();
@@ -741,6 +747,58 @@ fn sanitized_smoke(opts: &Opts) -> Result<(), String> {
 fn sanitized_smoke(_opts: &Opts) -> Result<(), String> {
     println!("sanitized sweep skipped: built without the `sanitize` feature");
     Ok(())
+}
+
+/// Runs the static design-analysis suite — channel-dependency deadlock
+/// proofs over the standard topologies and the credit-sizing checks —
+/// prints the verdict, and optionally writes the `nox-bench/statics/v1`
+/// artifact. Nonzero exit when any analysis misses its expectation, so
+/// CI can gate on it directly.
+fn cmd_statics(opts: &Opts) -> Result<(), String> {
+    let exec = executor(opts)?;
+    let report = nox::statics::standard_report(&exec);
+    if opts.contains_key("json") {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    if let Some(out) = opts.get("out") {
+        std::fs::write(out, report.to_json()).map_err(|e| format!("could not write {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    if report.verdict_ok() {
+        Ok(())
+    } else {
+        Err("statics verdict FAIL: an analysis missed its expectation".into())
+    }
+}
+
+/// Runs the determinism lint over the given roots (default `crates/`),
+/// exactly as the standalone `detlint` binary does. Nonzero exit on any
+/// finding that survives the `// detlint: allow(...)` escape hatch.
+fn cmd_lint(positional: &[String], _opts: &Opts) -> Result<(), String> {
+    let roots: Vec<&str> = if positional.is_empty() {
+        vec!["crates"]
+    } else {
+        positional.iter().map(String::as_str).collect()
+    };
+    let mut findings = Vec::new();
+    for root in &roots {
+        findings.extend(
+            nox::statics::lint::scan_path(std::path::Path::new(root))
+                .map_err(|e| format!("{root}: {e}"))?,
+        );
+    }
+    findings.sort();
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("lint: clean ({} root(s) scanned)", roots.len());
+        Ok(())
+    } else {
+        Err(format!("lint: {} determinism finding(s)", findings.len()))
+    }
 }
 
 /// Evaluates the full conformance-claim registry (EXPERIMENTS.md as

@@ -14,6 +14,7 @@
 //! | [`power`] | channel, logical-effort timing (Table 2), event-energy (Fig 12), area (Fig 13) |
 //! | [`analysis`] | sweeps, saturation/crossover detection, application runs, tables |
 //! | [`exec`] | deterministic parallel executor: ordered reduction over a thread pool |
+//! | [`statics`] | static design analysis: channel-dependency deadlock proofs, credit sizing, determinism lint |
 //! | [`verify`] | bounded model checker for the protocol invariants + mutation smoke |
 //!
 //! # Quickstart
@@ -52,6 +53,7 @@ pub use nox_power as power;
 #[cfg(feature = "probe")]
 pub use nox_probe as probe;
 pub use nox_sim as sim;
+pub use nox_statics as statics;
 pub use nox_traffic as traffic;
 pub use nox_verify as verify;
 
