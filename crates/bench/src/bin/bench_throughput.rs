@@ -5,14 +5,16 @@
 //!
 //! * simulated cycles per wall-clock second for each architecture on the
 //!   paper's 8x8 mesh under uniform traffic — N trials each (default 5,
-//!   `--trials N` to change), reported as median/min/max/spread, because
+//!   `--trials N` to change) after W discarded warmup trials (default 1,
+//!   `--warmup W`), reported as median/min/max/spread plus the trimmed
+//!   median (fastest and slowest measured trial dropped), because
 //!   single-shot wall-clock numbers are too noisy to diff; and
 //! * wall time of each figure harness binary (run with `--quick`).
 //!
 //! Run from the repo root so the artifact lands next to the README:
 //!
 //! ```text
-//! cargo run --release -p nox-bench --bin bench_throughput [-- --trials N] [--threads N]
+//! cargo run --release -p nox-bench --bin bench_throughput [-- --trials N] [--warmup W] [--threads N]
 //! ```
 //!
 //! `--threads N` fans the (architecture, trial) pairs out over the
@@ -41,6 +43,7 @@ use nox_traffic::synthetic::{generate, SyntheticConfig};
 const OUT: &str = "BENCH_sim_throughput.json";
 const RATE_MBPS: f64 = 2_000.0;
 const DEFAULT_TRIALS: usize = 5;
+const DEFAULT_WARMUP: usize = 1;
 
 /// Every figure harness in `src/bin`, in the index order of `main.rs`.
 const HARNESSES: &[&str] = &[
@@ -82,16 +85,22 @@ fn main() {
             .and_then(|n| n.parse::<usize>().ok())
     };
     let trials = flag("--trials").unwrap_or(DEFAULT_TRIALS).max(1);
+    let warmup = flag("--warmup").unwrap_or(DEFAULT_WARMUP);
     let exec = Executor::new(flag("--threads").unwrap_or(1));
 
+    // Warmup trials run first for each architecture (populating caches
+    // and letting the CPU settle) and are discarded from the stats.
     let jobs: Vec<Arch> = Arch::ALL
         .into_iter()
-        .flat_map(|arch| std::iter::repeat_n(arch, trials))
+        .flat_map(|arch| std::iter::repeat_n(arch, warmup + trials))
         .collect();
     let mut results = exec.map(jobs, |_, arch| sim_trial(arch)).into_iter();
     let architectures: Vec<ArchThroughput> = Arch::ALL
         .into_iter()
         .map(|arch| {
+            for _ in 0..warmup {
+                let _ = results.next().expect("one result per warmup trial");
+            }
             let mut cycles = 0;
             let trials_cps = (0..trials)
                 .map(|_| {
@@ -106,9 +115,10 @@ fn main() {
                 trials_cps,
             };
             println!(
-                "{:<16} {:>8} cycles, {trials} trials: median {:>12.0} cycles/sec (min {:.0}, spread {:.0}%)",
+                "{:<16} {:>8} cycles, {trials} trials (+{warmup} warmup): trimmed median {:>12.0} cycles/sec (median {:.0}, min {:.0}, spread {:.0}%)",
                 a.arch,
                 a.cycles,
+                a.trimmed_median_cps(),
                 a.median_cps(),
                 a.min_cps(),
                 a.spread() * 100.0

@@ -54,10 +54,37 @@ impl ArchThroughput {
         (self.max_cps() - self.min_cps()) / self.median_cps()
     }
 
+    /// Median after dropping the fastest and slowest trial (with fewer
+    /// than three trials there is nothing to trim, so this equals
+    /// [`median_cps`](Self::median_cps)). Shared CI runners produce
+    /// occasional outlier trials in both directions; the trimmed median
+    /// is the number worth diffing across commits.
+    pub fn trimmed_median_cps(&self) -> f64 {
+        percentile_sorted(&self.trimmed(), 0.5)
+    }
+
+    /// Relative spread of the trimmed trial set.
+    pub fn trimmed_spread(&self) -> f64 {
+        let t = self.trimmed();
+        match (t.first(), t.last()) {
+            (Some(min), Some(max)) => (max - min) / self.trimmed_median_cps(),
+            _ => f64::NAN,
+        }
+    }
+
     fn sorted(&self) -> Vec<f64> {
         let mut v = self.trials_cps.clone();
         v.sort_by(f64::total_cmp);
         v
+    }
+
+    fn trimmed(&self) -> Vec<f64> {
+        let v = self.sorted();
+        if v.len() >= 3 {
+            v[1..v.len() - 1].to_vec()
+        } else {
+            v
+        }
     }
 }
 
@@ -105,9 +132,11 @@ impl BenchArtifact {
                     .field("cycles", a.cycles)
                     .field("trials_cps", a.trials_cps.clone())
                     .field("median_cps", a.median_cps())
+                    .field("trimmed_median_cps", a.trimmed_median_cps())
                     .field("min_cps", a.min_cps())
                     .field("max_cps", a.max_cps())
                     .field("spread", a.spread())
+                    .field("trimmed_spread", a.trimmed_spread())
             })
             .collect::<Vec<_>>();
         let harnesses = self
@@ -212,17 +241,21 @@ impl BenchArtifact {
     }
 }
 
-/// One line of a `bench-compare` verdict.
+/// One line of a `bench-compare` verdict. Either side may be missing —
+/// a harness newly timed, dropped, or skipped in one run — in which case
+/// the row is informational (`delta` is `None`, never a regression).
 #[derive(Clone, Debug)]
 pub struct CompareRow {
     /// What is being compared (arch or harness name).
     pub name: String,
-    /// Old value (median cycles/sec, or harness wall seconds).
-    pub old: f64,
-    /// New value, same unit.
-    pub new: f64,
-    /// Relative change, sign-adjusted so positive = better.
-    pub delta: f64,
+    /// Old value (median cycles/sec, or harness wall seconds), if the
+    /// old artifact has one.
+    pub old: Option<f64>,
+    /// New value, same unit, if the new artifact has one.
+    pub new: Option<f64>,
+    /// Relative change, sign-adjusted so positive = better; `None` when
+    /// either side is missing.
+    pub delta: Option<f64>,
     /// `true` when the change exceeds the noise threshold in the bad
     /// direction.
     pub regressed: bool,
@@ -235,8 +268,9 @@ pub struct Comparison {
     pub threshold: f64,
     /// Simulator-throughput rows (higher cycles/sec = better).
     pub throughput: Vec<CompareRow>,
-    /// Harness wall-time rows (lower seconds = better). Only harnesses
-    /// timed in both artifacts with identical args are compared.
+    /// Harness wall-time rows (lower seconds = better), one row per
+    /// harness timed in *either* artifact so appearing/disappearing
+    /// harnesses are visible instead of silently dropped.
     pub harness_wall: Vec<CompareRow>,
 }
 
@@ -245,34 +279,45 @@ pub fn compare(old: &BenchArtifact, new: &BenchArtifact, threshold: f64) -> Comp
     let throughput = new
         .architectures
         .iter()
-        .filter_map(|n| {
-            let o = old.architectures.iter().find(|o| o.arch == n.arch)?;
-            let (ov, nv) = (o.median_cps(), n.median_cps());
-            Some(CompareRow {
+        .map(|n| {
+            let o = old.architectures.iter().find(|o| o.arch == n.arch);
+            let (ov, nv) = (o.map(ArchThroughput::median_cps), n.median_cps());
+            CompareRow {
                 name: n.arch.clone(),
                 old: ov,
-                new: nv,
-                delta: nv / ov - 1.0,
-                regressed: nv < ov * (1.0 - threshold),
-            })
+                new: Some(nv),
+                delta: ov.map(|ov| nv / ov - 1.0),
+                regressed: ov.is_some_and(|ov| nv < ov * (1.0 - threshold)),
+            }
         })
         .collect();
-    let harness_wall = new
-        .harnesses
+    // One row per harness in either artifact, new-artifact order first
+    // so additions land next to the harnesses they ride with.
+    let mut names: Vec<&HarnessTiming> = new.harnesses.iter().collect();
+    for o in &old.harnesses {
+        if !names.iter().any(|h| h.harness == o.harness) {
+            names.push(o);
+        }
+    }
+    let harness_wall = names
         .iter()
-        .filter_map(|n| {
-            let o = old
-                .harnesses
-                .iter()
-                .find(|o| o.harness == n.harness && o.args == n.args)?;
-            let (ov, nv) = (o.wall_s?, n.wall_s?);
-            Some(CompareRow {
-                name: n.harness.clone(),
+        .map(|h| {
+            let wall = |art: &BenchArtifact| {
+                art.harnesses
+                    .iter()
+                    .find(|o| o.harness == h.harness && o.args == h.args)
+                    .and_then(|o| o.wall_s)
+            };
+            let (ov, nv) = (wall(old), wall(new));
+            CompareRow {
+                name: h.harness.clone(),
                 old: ov,
                 new: nv,
-                delta: ov / nv - 1.0,
-                regressed: nv > ov * (1.0 + threshold),
-            })
+                delta: ov.zip(nv).map(|(ov, nv)| ov / nv - 1.0),
+                regressed: ov
+                    .zip(nv)
+                    .is_some_and(|(ov, nv)| nv > ov * (1.0 + threshold)),
+            }
         })
         .collect();
     Comparison {
@@ -299,13 +344,27 @@ impl Comparison {
                 return;
             }
             let mut t = crate::Table::new(title, &["name", "old", "new", "change", "verdict"]);
+            let cell = |v: Option<f64>| match v {
+                Some(v) => format!("{v:.1}{unit}"),
+                None => "n/a".to_string(),
+            };
             for r in rows {
+                let verdict = match (r.old, r.new) {
+                    _ if r.regressed => "REGRESSED",
+                    (Some(_), Some(_)) => "ok",
+                    (None, Some(_)) => "new",
+                    (Some(_), None) => "gone",
+                    (None, None) => "skipped",
+                };
                 t.row([
                     r.name.clone(),
-                    format!("{:.1}{unit}", r.old),
-                    format!("{:.1}{unit}", r.new),
-                    format!("{:+.1}%", r.delta * 100.0),
-                    if r.regressed { "REGRESSED" } else { "ok" }.to_string(),
+                    cell(r.old),
+                    cell(r.new),
+                    match r.delta {
+                        Some(d) => format!("{:+.1}%", d * 100.0),
+                        None => "n/a".to_string(),
+                    },
+                    verdict.to_string(),
                 ]);
             }
             let _ = writeln!(out, "{t}");
@@ -427,6 +486,52 @@ mod tests {
 
         let same = compare(&old, &old, DEFAULT_NOISE_THRESHOLD);
         assert!(!same.regressed());
+    }
+
+    #[test]
+    fn trimmed_median_drops_one_outlier_each_side() {
+        let a = ArchThroughput {
+            arch: "NoX".into(),
+            cycles: 1,
+            trials_cps: vec![100_000.0, 40.0, 44.0, 46.0, 42.0],
+        };
+        // The 100k outlier is trimmed away with the slowest trial.
+        assert_eq!(a.trimmed_median_cps(), 44.0);
+        assert!((a.trimmed_spread() - 4.0 / 44.0).abs() < 1e-12);
+        // Too few trials to trim: falls back to the plain stats.
+        let b = ArchThroughput {
+            arch: "NoX".into(),
+            cycles: 1,
+            trials_cps: vec![40.0, 44.0],
+        };
+        assert_eq!(b.trimmed_median_cps(), b.median_cps());
+    }
+
+    #[test]
+    fn harness_rows_cover_both_artifacts() {
+        let old = artifact(
+            &[("NoX", &[40_000.0])],
+            &[("fig8", Some(60.0)), ("old_only", Some(5.0))],
+        );
+        let new = artifact(
+            &[("NoX", &[41_000.0])],
+            &[
+                ("fig8", Some(61.0)),
+                ("new_only", Some(7.0)),
+                ("skipped", None),
+            ],
+        );
+        let c = compare(&old, &new, DEFAULT_NOISE_THRESHOLD);
+        let row = |name: &str| c.harness_wall.iter().find(|r| r.name == name).unwrap();
+        assert_eq!(c.harness_wall.len(), 4);
+        assert!(row("fig8").delta.is_some() && !row("fig8").regressed);
+        assert_eq!(row("new_only").old, None);
+        assert_eq!(row("old_only").new, None);
+        assert!(!row("new_only").regressed && !row("old_only").regressed);
+        let s = c.render();
+        assert!(s.contains("new"), "missing 'new' verdict: {s}");
+        assert!(s.contains("gone"), "missing 'gone' verdict: {s}");
+        assert!(s.contains("n/a"));
     }
 
     #[test]

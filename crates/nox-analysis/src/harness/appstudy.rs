@@ -60,7 +60,7 @@ pub fn study_with(tier: Tier, exec: &Executor) -> AppStudy {
         .iter()
         .flat_map(|w| Arch::ALL.iter().map(move |&a| (w, a)))
         .collect();
-    let results = exec.map(jobs, |_, (w, a)| {
+    let results = exec.map_stage("apps.workloads", jobs, |_, (w, a)| {
         run_workload_sized(a, w, APP_SEED, &spec, trace_ns)
     });
     let mut it = results.into_iter();

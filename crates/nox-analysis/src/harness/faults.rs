@@ -205,7 +205,7 @@ pub fn run_with(tier: Tier, exec: &Executor) -> FaultStudy {
             }
         }
     }
-    let points = exec.map(jobs, |_, (protected, arch, i, r)| {
+    let points = exec.map_stage("faults.campaigns", jobs, |_, (protected, arch, i, r)| {
         let seed = 0xFA01 + i as u64;
         let cfg = if protected {
             FaultConfig::protected_bit_flips(seed, r)

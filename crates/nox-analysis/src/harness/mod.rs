@@ -112,6 +112,43 @@ impl HarnessArgs {
 /// the column order every table in the paper uses.
 pub const ARCH_COLUMNS: [&str; 4] = ["Non-Spec", "Spec-Fast", "Spec-Acc", "NoX"];
 
+/// Every harness name [`run_by_name`] dispatches, in menu order.
+pub const HARNESS_NAMES: &[&str] = &[
+    "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "figs237", "table1", "table2", "ablation",
+    "cmesh", "feedback", "faults", "claims",
+];
+
+/// Runs the named harness at `tier` and returns its rendered report, or
+/// `None` for an unknown name. Harnesses with a parallel implementation
+/// (the synthetic and application studies, the fault campaigns, the
+/// claims registry) fan out over `exec`; the rest run serially — either
+/// way the output is bit-identical at any executor width.
+///
+/// The run is wrapped in one `harness.stage` span, so a profile always
+/// attributes the harness's own (non-simulator) time.
+pub fn run_by_name(name: &str, tier: Tier, exec: &nox_exec::Executor) -> Option<String> {
+    let _span = nox_telemetry::SpanGuard::begin(nox_telemetry::phase::HARNESS_STAGE);
+    Some(match name {
+        "fig8" => fig8::Fig8Result::from_study(synthetic::study_with(tier, exec)).render(),
+        "fig9" => fig9::Fig9Result::from_study(synthetic::study_with(tier, exec)).render(),
+        "fig10" => fig10::Fig10Result::from_study(appstudy::study_with(tier, exec)).render(),
+        "fig11" => fig11::Fig11Result::from_study(appstudy::study_with(tier, exec)).render(),
+        "fig12" => fig12::run(tier).render(),
+        "fig13" => fig13::run(tier).render(),
+        "figs237" => figs237::run(tier).render(),
+        "table1" => table1::run(tier).render(),
+        "table2" => table2::run(tier).render(),
+        "ablation" => ablation::run(tier).render(),
+        "cmesh" => cmesh::run(tier).render(),
+        "feedback" => feedback::run(tier).render(),
+        "faults" => faults::run_with(tier, exec).render(),
+        "claims" => {
+            crate::claims::evaluate(&crate::claims::ClaimInputs::gather_with(tier, exec)).render()
+        }
+        _ => return None,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

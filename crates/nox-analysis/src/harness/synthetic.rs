@@ -140,7 +140,7 @@ pub fn study_with(tier: Tier, exec: &Executor) -> SyntheticStudy {
             }
         }
     }
-    let points = exec.map(jobs, |_, (si, arch, rate)| {
+    let points = exec.map_stage("synthetic.sweeps", jobs, |_, (si, arch, rate)| {
         measure_point(arch, &cfgs[si], rate)
     });
 

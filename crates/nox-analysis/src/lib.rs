@@ -15,6 +15,8 @@
 //!   every EXPERIMENTS.md claim to a harness measurement;
 //! * [`bench_artifact`] — the `BENCH_sim_throughput.json` performance
 //!   artifact (multi-trial) and its regression comparison;
+//! * [`mod@profile`] — the `nox-bench/profile/v1` phase-attribution
+//!   artifact collected by `noxsim profile`;
 //! * [`mod@json`] — the dependency-free JSON value, serializer, and
 //!   parser the structured outputs are built on;
 //! * [`table`] — shared plain-text / CSV table rendering for all of the
@@ -39,6 +41,7 @@ pub mod bench_artifact;
 pub mod claims;
 pub mod harness;
 pub mod json;
+pub mod profile;
 pub mod sweep;
 pub mod table;
 

@@ -89,6 +89,7 @@ impl SweepConfig {
 /// and the rate), which is what lets sweeps fan points out across
 /// threads without changing a single output bit.
 pub fn measure_point(arch: Arch, cfg: &SweepConfig, rate: f64) -> SweepPoint {
+    let _span = nox_telemetry::SpanGuard::begin(nox_telemetry::phase::HARNESS_POINT);
     let net = NetConfig::paper(arch);
     let mesh = Mesh::new(net.width, net.height);
     let model = EnergyModel::for_arch(arch);
@@ -117,7 +118,8 @@ pub fn sweep(arch: Arch, cfg: &SweepConfig) -> ArchSeries {
 /// `exec`. Points are reduced in rate order, so the series is
 /// bit-identical to [`sweep`] at any thread count.
 pub fn sweep_with(arch: Arch, cfg: &SweepConfig, exec: &Executor) -> ArchSeries {
-    let points = exec.map(cfg.rates_mbps.clone(), |_, rate| {
+    let stage = format!("sweep.{}", arch.name());
+    let points = exec.map_stage(&stage, cfg.rates_mbps.clone(), |_, rate| {
         measure_point(arch, cfg, rate)
     });
     ArchSeries {

@@ -70,7 +70,7 @@ pub mod output;
 pub mod port;
 
 pub use arbiter::{MatrixArbiter, RoundRobinArbiter};
-pub use baseline::{NonSpecCtl, SpecCtl, SpecDecision, SpecMode};
+pub use baseline::{NonSpecCtl, NonSpecDecision, SpecCtl, SpecDecision, SpecMode};
 pub use coded::{Coded, Xor};
 pub use decode::{DecodeAction, DecodePlan, Decoder};
 pub use output::{Mode, NoxDecision, NoxOptions, OutputCtl, RequestSet};

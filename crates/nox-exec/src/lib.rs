@@ -10,9 +10,18 @@
 //! and `threads = 1` executes the exact same code path as the historical
 //! serial loops.
 //!
-//! There are no dependencies beyond `std` (the workspace builds offline);
-//! workers are scoped threads, so borrowed inputs work without `'static`
-//! bounds.
+//! The same submission-order discipline extends to telemetry: when
+//! profiling is on, each job's measurements are captured into a private
+//! delta (`nox_telemetry::capture`) and absorbed back one job at a time,
+//! in submission order — so a merged profile's *structure* is identical
+//! at every thread count. When streaming is on, job-completion events
+//! pass through an in-order cursor: a finished job is announced only
+//! once every earlier job has been announced, making the event order on
+//! the wire deterministic while staying live.
+//!
+//! The only dependency is `nox-telemetry` (itself `std`-only; the
+//! workspace builds offline); workers are scoped threads, so borrowed
+//! inputs work without `'static` bounds.
 //!
 //! # Example
 //!
@@ -28,6 +37,9 @@
 
 use std::sync::Mutex;
 
+use nox_telemetry::stream::Field;
+use nox_telemetry::{phase, ProfileAcc, SpanEvent, Stopwatch};
+
 /// A fixed-width worker pool that maps closures over indexed work lists
 /// and reduces results in submission order.
 ///
@@ -37,6 +49,100 @@ use std::sync::Mutex;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Executor {
     threads: usize,
+}
+
+/// What one job left behind besides its result: its telemetry delta and
+/// its wall duration. Empty (and free) unless profiling or streaming is
+/// on.
+struct JobRecord {
+    delta: Option<Box<ProfileAcc>>,
+    dur_ns: u64,
+}
+
+/// The in-order completion cursor for stream events: job `i`'s event is
+/// emitted only once jobs `0..i` have all been emitted, so the wire
+/// order is by submission index at any thread count — live, but
+/// deterministic.
+struct Progress<'a> {
+    stage: &'a str,
+    total: usize,
+    next: usize,
+    done: Vec<Option<u64>>,
+}
+
+impl Progress<'_> {
+    fn complete(&mut self, index: usize, dur_ns: u64) {
+        self.done[index] = Some(dur_ns);
+        while self.next < self.total {
+            let Some(dur) = self.done[self.next] else {
+                break;
+            };
+            nox_telemetry::stream::emit(
+                "job",
+                &[
+                    ("stage", Field::Str(self.stage)),
+                    ("index", Field::U64(self.next as u64)),
+                    ("total", Field::U64(self.total as u64)),
+                    ("ms", Field::F64(dur as f64 / 1e6)),
+                ],
+            );
+            self.next += 1;
+        }
+    }
+}
+
+/// Runs one job, measuring it when `observe` is set: the job's telemetry
+/// lands in a private capture delta (later absorbed in submission
+/// order), annotated with its own `exec.job` span and queue-wait sample.
+fn run_job<T, R>(
+    f: &(impl Fn(usize, T) -> R + Sync),
+    i: usize,
+    item: T,
+    observe: bool,
+    wait_ns: u64,
+) -> (R, JobRecord) {
+    if !observe {
+        return (
+            f(i, item),
+            JobRecord {
+                delta: None,
+                dur_ns: 0,
+            },
+        );
+    }
+    let start_ns = nox_telemetry::epoch_ns();
+    let (result, mut delta) = nox_telemetry::capture(|| f(i, item));
+    let dur_ns = nox_telemetry::epoch_ns().saturating_sub(start_ns);
+    if nox_telemetry::profiling() {
+        let d = delta.get_or_insert_with(|| Box::new(ProfileAcc::new()));
+        d.add_span(phase::EXEC_JOB, dur_ns);
+        d.push_event(SpanEvent {
+            phase: phase::EXEC_JOB,
+            index: i as u32,
+            tid: nox_telemetry::thread_tag(),
+            start_ns,
+            dur_ns,
+        });
+        d.sample_ns("exec.job_ns", dur_ns);
+        d.sample_ns("exec.queue_wait_ns", wait_ns);
+    }
+    (result, JobRecord { delta, dur_ns })
+}
+
+/// Per-worker tallies for the utilization gauges.
+#[derive(Clone, Copy, Default)]
+struct WorkerStats {
+    jobs: u64,
+    busy_ns: u64,
+    wait_ns: u64,
+}
+
+impl WorkerStats {
+    fn publish(&self, acc: &mut ProfileAcc, worker: usize) {
+        acc.set_gauge(&format!("exec.worker.{worker}.jobs"), self.jobs);
+        acc.set_gauge(&format!("exec.worker.{worker}.busy_ns"), self.busy_ns);
+        acc.set_gauge(&format!("exec.worker.{worker}.wait_ns"), self.wait_ns);
+    }
 }
 
 impl Executor {
@@ -82,53 +188,142 @@ impl Executor {
         R: Send,
         F: Fn(usize, T) -> R + Sync,
     {
+        self.map_stage("exec.map", items, f)
+    }
+
+    /// [`map`](Self::map) with a stage label: the label names this fan-out
+    /// in profile counters (`exec.stage.<label>.jobs`) and on streamed
+    /// progress events. Harnesses use it to attribute their sweeps.
+    pub fn map_stage<T, R, F>(
+        &self,
+        stage: &str,
+        items: impl IntoIterator<Item = T>,
+        f: F,
+    ) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
         let items: Vec<T> = items.into_iter().collect();
-        if self.threads == 1 || items.len() <= 1 {
-            return items
+        let n = items.len();
+        let profiling = nox_telemetry::profiling();
+        let streaming = nox_telemetry::stream::active();
+        let observe = profiling || streaming;
+        if profiling {
+            nox_telemetry::with_acc(|a| a.add_count(&format!("exec.stage.{stage}.jobs"), n as u64));
+        }
+        if streaming {
+            nox_telemetry::stream::emit(
+                "stage",
+                &[("stage", Field::Str(stage)), ("jobs", Field::U64(n as u64))],
+            );
+        }
+        let mut progress = Progress {
+            stage,
+            total: n,
+            next: 0,
+            done: if streaming { vec![None; n] } else { Vec::new() },
+        };
+
+        if self.threads == 1 || n <= 1 {
+            // The historical serial path: inline, on the calling thread.
+            let mut worker = WorkerStats::default();
+            let out = items
                 .into_iter()
                 .enumerate()
-                .map(|(i, t)| f(i, t))
+                .map(|(i, t)| {
+                    let (r, rec) = run_job(&f, i, t, observe, 0);
+                    worker.jobs += 1;
+                    worker.busy_ns += rec.dur_ns;
+                    if let Some(delta) = rec.delta {
+                        nox_telemetry::absorb(delta);
+                    }
+                    if streaming {
+                        progress.complete(i, rec.dur_ns);
+                    }
+                    r
+                })
                 .collect();
+            if profiling {
+                nox_telemetry::with_acc(|a| worker.publish(a, 0));
+            }
+            return out;
         }
 
-        let n = items.len();
         let workers = self.threads.min(n);
         // Shared work queue: each worker pulls the next (index, item) pair
         // and writes its result into the slot for that index. Work items
         // are coarse (whole simulation runs), so the mutexes see no
         // meaningful contention.
         let queue = Mutex::new(items.into_iter().enumerate());
-        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<(R, JobRecord)>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let progress = Mutex::new(progress);
 
-        std::thread::scope(|scope| {
+        let stats = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
-                    scope.spawn(|| loop {
-                        let next = queue.lock().expect("work queue poisoned").next();
-                        match next {
-                            Some((i, item)) => {
-                                let r = f(i, item);
-                                *slots[i].lock().expect("result slot poisoned") = Some(r);
+                    scope.spawn(|| {
+                        let mut worker = WorkerStats::default();
+                        loop {
+                            let idle = observe.then(Stopwatch::start);
+                            let next = queue.lock().expect("work queue poisoned").next();
+                            let wait_ns = idle.map_or(0, |sw| sw.elapsed_ns());
+                            match next {
+                                Some((i, item)) => {
+                                    let (r, rec) = run_job(&f, i, item, observe, wait_ns);
+                                    worker.jobs += 1;
+                                    worker.busy_ns += rec.dur_ns;
+                                    worker.wait_ns += wait_ns;
+                                    let dur_ns = rec.dur_ns;
+                                    *slots[i].lock().expect("result slot poisoned") =
+                                        Some((r, rec));
+                                    if streaming {
+                                        progress
+                                            .lock()
+                                            .expect("progress cursor poisoned")
+                                            .complete(i, dur_ns);
+                                    }
+                                }
+                                None => break worker,
                             }
-                            None => break,
                         }
                     })
                 })
                 .collect();
+            let mut stats = Vec::with_capacity(workers);
             for h in handles {
                 // Re-raise a worker's panic with its original payload.
-                if let Err(payload) = h.join() {
-                    std::panic::resume_unwind(payload);
+                match h.join() {
+                    Ok(s) => stats.push(s),
+                    Err(payload) => std::panic::resume_unwind(payload),
                 }
             }
+            stats
         });
 
+        if profiling {
+            nox_telemetry::with_acc(|a| {
+                for (w, s) in stats.iter().enumerate() {
+                    s.publish(a, w);
+                }
+            });
+        }
+
+        // Drain the slots — and absorb each job's telemetry delta — in
+        // submission order, so the merged accumulator's structure is
+        // independent of which worker ran which job.
         slots
             .into_iter()
             .map(|slot| {
-                slot.into_inner()
+                let (r, rec) = slot
+                    .into_inner()
                     .expect("result slot poisoned")
-                    .expect("worker exited without filling its slot")
+                    .expect("worker exited without filling its slot");
+                if let Some(delta) = rec.delta {
+                    nox_telemetry::absorb(delta);
+                }
+                r
             })
             .collect()
     }
@@ -186,7 +381,9 @@ pub fn parse_threads(s: &str) -> Result<usize, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Write;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
 
     #[test]
     fn results_are_in_submission_order() {
@@ -261,5 +458,117 @@ mod tests {
         assert!(parse_threads("0").is_err());
         assert!(parse_threads("-2").is_err());
         assert!(parse_threads("four").is_err());
+    }
+
+    // -------------------------------------------------------- telemetry
+
+    /// Serializes tests that toggle the process-global telemetry state.
+    static TELEMETRY: Mutex<()> = Mutex::new(());
+
+    fn telemetry_lock() -> std::sync::MutexGuard<'static, ()> {
+        TELEMETRY.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[derive(Clone, Default)]
+    struct Capture(Arc<Mutex<Vec<u8>>>);
+
+    impl Capture {
+        fn lines(&self) -> Vec<String> {
+            String::from_utf8(self.0.lock().unwrap().clone())
+                .unwrap()
+                .lines()
+                .map(str::to_string)
+                .collect()
+        }
+    }
+
+    impl Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn telemetry_off_allocates_no_accumulator() {
+        let _g = telemetry_lock();
+        nox_telemetry::set_profiling(false);
+        nox_telemetry::stream::clear();
+        let _ = nox_telemetry::take_acc();
+        Executor::new(4).run(16, |i| i * 2);
+        assert!(
+            !nox_telemetry::acc_allocated(),
+            "map must not touch telemetry when profiling and streaming are off"
+        );
+    }
+
+    #[test]
+    fn job_deltas_merge_in_submission_order() {
+        let _g = telemetry_lock();
+        nox_telemetry::set_profiling(true);
+        nox_telemetry::stream::clear();
+        let _ = nox_telemetry::take_acc();
+        // Jobs record one span event each and finish intentionally out of
+        // order; merged event order must still be submission order.
+        Executor::new(4).map(0..16u32, |i, n| {
+            if i % 3 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            let _s = nox_telemetry::SpanGuard::with_index(phase::HARNESS_POINT, n);
+            n
+        });
+        let acc = nox_telemetry::take_acc().expect("profiling allocates the acc");
+        nox_telemetry::set_profiling(false);
+        let point_events: Vec<u32> = acc
+            .events()
+            .iter()
+            .filter(|e| e.phase == phase::HARNESS_POINT)
+            .map(|e| e.index)
+            .collect();
+        assert_eq!(point_events, (0..16).collect::<Vec<_>>());
+        assert_eq!(acc.phase(phase::EXEC_JOB).count, 16);
+        assert_eq!(acc.counters().get("exec.stage.exec.map.jobs"), Some(&16));
+        assert_eq!(acc.samples()["exec.job_ns"].count(), 16);
+        // Worker gauges exist for at least worker 0.
+        assert!(acc.gauges().keys().any(|k| k.starts_with("exec.worker.0.")));
+    }
+
+    #[test]
+    fn stream_events_are_in_submission_order_at_any_width() {
+        let _g = telemetry_lock();
+        nox_telemetry::set_profiling(false);
+        let mut per_width = Vec::new();
+        for threads in [1usize, 4] {
+            let cap = Capture::default();
+            nox_telemetry::stream::set(Box::new(cap.clone()));
+            Executor::new(threads).map_stage("demo", 0..12u32, |i, n| {
+                if i % 5 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                n
+            });
+            nox_telemetry::stream::clear();
+            let lines = cap.lines();
+            // One stage frame plus one frame per job, every line a
+            // complete JSON object.
+            assert_eq!(lines.len(), 13);
+            for l in &lines {
+                assert!(l.starts_with('{') && l.ends_with('}'), "partial frame: {l}");
+            }
+            assert!(lines[0].contains(r#""event":"stage","seq":0,"stage":"demo","jobs":12"#));
+            // Job frames carry ascending indices regardless of width.
+            let indices: Vec<String> = lines[1..]
+                .iter()
+                .map(|l| {
+                    let at = l.find(r#""index":"#).expect("job frame has an index") + 9;
+                    l[at - 1..].split(',').next().unwrap().to_string()
+                })
+                .collect();
+            per_width.push(indices);
+        }
+        assert_eq!(per_width[0], per_width[1], "order must not depend on width");
     }
 }

@@ -70,6 +70,34 @@ fn event_json(e: &TraceEvent, clock_ns: f64) -> Json {
         .field("args", args)
 }
 
+/// Renders profiler span events (from `nox-telemetry`) as a Chrome
+/// trace-event JSON document: one complete (`"X"`) event per recorded
+/// span, with the phase name as the event name, the worker thread tag as
+/// both process and thread id (so each worker gets a lane), and
+/// wall-clock microseconds since the process epoch as the timestamp.
+/// This is the span-profile counterpart of [`chrome_trace`], which
+/// exports *simulated*-time probe events.
+pub fn chrome_spans(events: &[nox_telemetry::SpanEvent]) -> String {
+    let spans: Vec<Json> = events
+        .iter()
+        .map(|e| {
+            Json::obj()
+                .field("name", e.phase.name())
+                .field("cat", "profile")
+                .field("ph", "X")
+                .field("ts", e.start_ns as f64 / 1_000.0)
+                .field("dur", e.dur_ns as f64 / 1_000.0)
+                .field("pid", u64::from(e.tid))
+                .field("tid", u64::from(e.tid))
+                .field("args", Json::obj().field("index", u64::from(e.index)))
+        })
+        .collect();
+    Json::obj()
+        .field("traceEvents", Json::Arr(spans))
+        .field("displayTimeUnit", "ns")
+        .to_string()
+}
+
 /// Renders the probe's buffered events as a Chrome trace-event JSON
 /// document (the `traceEvents` object form, with metadata).
 pub fn chrome_trace(probe: &Probe) -> String {
@@ -95,6 +123,32 @@ mod tests {
     use nox_sim::sim::RunSpec;
     use nox_sim::topology::NodeId;
     use nox_sim::trace::{PacketEvent, Trace};
+
+    #[test]
+    fn span_export_emits_one_lane_per_worker() {
+        use nox_telemetry::{phase, SpanEvent};
+        let events = [
+            SpanEvent {
+                phase: phase::EXEC_JOB,
+                index: 3,
+                tid: 1,
+                start_ns: 2_000,
+                dur_ns: 500,
+            },
+            SpanEvent {
+                phase: phase::HARNESS_POINT,
+                index: 0,
+                tid: 2,
+                start_ns: 2_100,
+                dur_ns: 250,
+            },
+        ];
+        let doc = super::chrome_spans(&events);
+        assert!(doc.contains("\"name\":\"exec.job\""));
+        assert!(doc.contains("\"name\":\"harness.point\""));
+        assert!(doc.contains("\"ts\":2,\"dur\":0.5,\"pid\":1,\"tid\":1"));
+        assert!(doc.contains("\"index\":3"));
+    }
 
     #[test]
     fn trace_has_inject_send_eject_lifecycle() {

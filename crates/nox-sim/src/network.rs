@@ -70,6 +70,12 @@ pub struct Network {
     /// Fault-injection campaign, if one is attached.
     #[cfg(feature = "faults")]
     faults: Option<Box<FaultState>>,
+    /// Phase-attribution clock, allocated when the process-wide profiling
+    /// switch was on at construction. Cloning a network starts a fresh
+    /// clock (see [`nox_telemetry::PhaseClock`]) so history is never
+    /// double-counted.
+    #[cfg(feature = "telemetry")]
+    phases: Option<Box<nox_telemetry::PhaseClock>>,
 }
 
 impl Network {
@@ -143,6 +149,18 @@ impl Network {
             probe: None,
             #[cfg(feature = "faults")]
             faults: None,
+            #[cfg(feature = "telemetry")]
+            phases: nox_telemetry::profiling()
+                .then(|| Box::new(nox_telemetry::PhaseClock::start())),
+        }
+    }
+
+    /// Attributes time since the previous phase mark to `phase`.
+    #[cfg(feature = "telemetry")]
+    #[inline]
+    fn mark_phase(&mut self, phase: nox_telemetry::PhaseId) {
+        if let Some(clock) = &mut self.phases {
+            clock.mark(phase);
         }
     }
 
@@ -336,6 +354,14 @@ impl Network {
 
     /// Advances the network by one clock cycle.
     pub fn step(&mut self) {
+        // Phase attribution (DESIGN.md §14): one clock read per phase
+        // boundary. The marks partition the step interval exactly, so the
+        // named phases telescope to the `sim.step` total.
+        #[cfg(feature = "telemetry")]
+        if let Some(clock) = &mut self.phases {
+            clock.begin_step();
+        }
+
         self.counters.cycles += 1;
 
         #[cfg(feature = "probe")]
@@ -400,6 +426,8 @@ impl Network {
         for s in deliveries.drain(..) {
             self.deliver_word(s);
         }
+        #[cfg(feature = "telemetry")]
+        self.mark_phase(nox_telemetry::phase::SIM_DELIVER);
 
         // 1b. Deliver matured credits.
         while let Some(&(due, node, port)) = self.credits_in_flight.front() {
@@ -421,6 +449,8 @@ impl Network {
         // 1c. Corrupt a credit counter, if the plan says so this cycle.
         #[cfg(feature = "faults")]
         self.fault_credit_corruption();
+        #[cfg(feature = "telemetry")]
+        self.mark_phase(nox_telemetry::phase::SIM_CREDIT);
 
         // 2. Sources inject, each into its core's local input port.
         for (i, src) in self.sources.iter_mut().enumerate() {
@@ -439,12 +469,19 @@ impl Network {
             #[cfg(not(feature = "probe"))]
             let _ = injected;
         }
+        #[cfg(feature = "telemetry")]
+        self.mark_phase(nox_telemetry::phase::SIM_INJECT);
 
-        // 3. Routers tick. Both tick buffers recycle allocations instead
-        // of growing fresh `Vec`s every cycle: the drained `deliveries`
-        // vector becomes this cycle's send buffer (it returns to
-        // `in_flight` in step 5, closing the loop), and the credit buffer
-        // is the network's persistent scratch vector.
+        // 3. Routers tick, staged so each phase runs across *all* routers
+        // (present → arbitrate → apply) and its wall time is attributable
+        // as a whole; routers never interact within a cycle, so the
+        // staged order is behaviourally identical to ticking each router
+        // start-to-finish (see the `Router` docs). Both tick buffers
+        // recycle allocations instead of growing fresh `Vec`s every
+        // cycle: the drained `deliveries` vector becomes this cycle's
+        // send buffer (it returns to `in_flight` in step 5, closing the
+        // loop), and the credit buffer is the network's persistent
+        // scratch vector.
         let mut sends = deliveries;
         let mut credit_returns = std::mem::take(&mut self.credit_scratch);
         debug_assert!(sends.is_empty() && credit_returns.is_empty());
@@ -463,14 +500,32 @@ impl Network {
             {
                 ctx.faults = self.faults.as_deref_mut();
             }
-            for r in &mut self.routers {
-                if ctx.fault_frozen(r.node()) {
-                    // Transient router fault: the whole router loses the
-                    // cycle (no decode, no arbitration, no link drive).
-                    continue;
-                }
-                r.tick(&mut ctx);
+            #[cfg(feature = "telemetry")]
+            {
+                ctx.phases = self.phases.as_deref_mut();
             }
+            // 3a. Present: decode plans, routing, request sets. The
+            // transient-freeze draw happens here, exactly once per router
+            // per cycle; a frozen router loses the whole cycle (no
+            // decode, no arbitration, no link drive).
+            for r in &mut self.routers {
+                let frozen = ctx.fault_frozen(r.node());
+                r.tick_present(frozen, &mut ctx);
+            }
+            #[cfg(feature = "telemetry")]
+            ctx.phase_mark(nox_telemetry::phase::SIM_ROUTE);
+            // 3b. Arbitrate: every credited output's engine decides.
+            for r in &mut self.routers {
+                r.tick_arbitrate();
+            }
+            #[cfg(feature = "telemetry")]
+            ctx.phase_mark(nox_telemetry::phase::SIM_ARBITRATE);
+            // 3c. Apply: drive links, service inputs, return credits.
+            for r in &mut self.routers {
+                r.tick_apply(&mut ctx);
+            }
+            #[cfg(feature = "telemetry")]
+            ctx.phase_mark(nox_telemetry::phase::SIM_DRIVE);
         }
 
         // 4. Sinks drain one flit each and record latencies.
@@ -584,6 +639,8 @@ impl Network {
             // 4b. Launch retransmissions whose timeouts expired.
             self.fault_retx_pump();
         }
+        #[cfg(feature = "telemetry")]
+        self.mark_phase(nox_telemetry::phase::SIM_SINK);
 
         // 5. Launch this cycle's sends and schedule credits. Routers never
         // emit credit returns for local input ports (sources check buffer
@@ -604,6 +661,8 @@ impl Network {
                 .push_back((self.cycle + self.cfg.credit_delay, owner, port.0));
         }
         self.credit_scratch = credit_returns;
+        #[cfg(feature = "telemetry")]
+        self.mark_phase(nox_telemetry::phase::SIM_CREDIT);
 
         // 5b. Deadlock watchdog: recover the network if injected losses
         // wedged a control engine (e.g. a reservation whose tail died).
@@ -624,6 +683,16 @@ impl Network {
             // Injected faults violate conservation by design; the audits
             // only apply to fault-free operation.
             self.sanitize_audit();
+        }
+
+        // Residual bookkeeping (watchdog, probe flush, sanitizer) lands
+        // in `sim.other`; the step closes with no further clock read.
+        #[cfg(feature = "telemetry")]
+        {
+            self.mark_phase(nox_telemetry::phase::SIM_OTHER);
+            if let Some(clock) = &mut self.phases {
+                clock.end_step();
+            }
         }
     }
 
@@ -911,6 +980,20 @@ impl Network {
             self.step();
         }
         self.is_quiescent()
+    }
+}
+
+#[cfg(feature = "telemetry")]
+impl Drop for Network {
+    /// Flushes the phase clock into the dropping thread's telemetry
+    /// accumulator. Inside an executor job this lands in the job's
+    /// capture delta, which `nox-exec` absorbs in submission order — the
+    /// reason merged sim phases are structurally identical at any thread
+    /// count.
+    fn drop(&mut self) {
+        if let Some(clock) = &mut self.phases {
+            clock.flush();
+        }
     }
 }
 

@@ -66,6 +66,9 @@ pub struct TickCtx<'a> {
     /// Fault-injection state, if a campaign is attached to the network.
     #[cfg(feature = "faults")]
     pub faults: Option<&'a mut crate::fault::FaultState>,
+    /// Phase clock, if self-profiling is enabled on the network.
+    #[cfg(feature = "telemetry")]
+    pub phases: Option<&'a mut nox_telemetry::PhaseClock>,
 }
 
 impl<'a> TickCtx<'a> {
@@ -85,6 +88,17 @@ impl<'a> TickCtx<'a> {
             probe: None,
             #[cfg(feature = "faults")]
             faults: None,
+            #[cfg(feature = "telemetry")]
+            phases: None,
+        }
+    }
+
+    /// Attributes time since the previous phase mark to `phase`. A
+    /// branch when profiling is attached, nothing otherwise.
+    #[cfg(feature = "telemetry")]
+    pub(crate) fn phase_mark(&mut self, phase: nox_telemetry::PhaseId) {
+        if let Some(clock) = &mut self.phases {
+            clock.mark(phase);
         }
     }
 
@@ -374,8 +388,53 @@ struct Presented {
     action: DecodeAction,
 }
 
+/// One output engine's decision for the cycle, recorded by the arbitrate
+/// stage and consumed by the apply stage.
+#[derive(Clone, Copy, Debug)]
+enum Decision {
+    /// Output frozen by credit exhaustion: the engine was not ticked.
+    Skip,
+    NonSpec(nox_core::NonSpecDecision),
+    Spec(nox_core::SpecDecision),
+    Nox(nox_core::NoxDecision),
+}
+
+/// Per-cycle working state, kept on the router so the tick loop recycles
+/// its allocations instead of growing fresh vectors every cycle.
+///
+/// The vectors are meaningful only between
+/// [`tick_present`](Router::tick_present) and the end of
+/// [`tick_apply`](Router::tick_apply) of the same cycle.
+#[derive(Clone, Debug, Default)]
+struct TickScratch {
+    presented: Vec<Option<Presented>>,
+    reqs: Vec<RequestSet>,
+    fresh: Vec<PortSet>,
+    decisions: Vec<Decision>,
+    /// Transient router freeze this cycle: the later stages are no-ops.
+    frozen: bool,
+}
+
 /// A router of a given architecture: five ports on the paper's mesh,
 /// more on a concentrated mesh.
+///
+/// A cycle advances in three stages so the network can run each stage
+/// across *all* routers and attribute its wall time to a named phase:
+///
+/// 1. [`tick_present`](Self::tick_present) — decode plans, routing, and
+///    request-set construction (phase `sim.route`);
+/// 2. [`tick_arbitrate`](Self::tick_arbitrate) — the per-output control
+///    engines decide (phase `sim.arbitrate`);
+/// 3. [`tick_apply`](Self::tick_apply) — decisions take effect: words
+///    drive links, inputs are serviced, credits return, counters count
+///    (phases `sim.drive` / `sim.encode`).
+///
+/// Routers never interact within a cycle (sends and credits emitted into
+/// the [`TickCtx`] are delivered by the network on *later* cycles), and
+/// within one router the engines consume only state precomputed by the
+/// present stage — so staging the loops this way is behaviourally
+/// identical to ticking each router start-to-finish.
+/// [`tick`](Self::tick) composes the three stages for single-router use.
 #[derive(Clone, Debug)]
 pub struct Router {
     node: NodeId,
@@ -383,6 +442,7 @@ pub struct Router {
     topo: Topology,
     inputs: Vec<InputPort>,
     outputs: Vec<OutputPort>,
+    scratch: TickScratch,
 }
 
 impl Router {
@@ -426,6 +486,7 @@ impl Router {
             topo,
             inputs,
             outputs,
+            scratch: TickScratch::default(),
         }
     }
 
@@ -507,28 +568,104 @@ impl Router {
         flushed
     }
 
-    /// Advances the router by one cycle.
+    /// Advances the router by one cycle: the three tick stages back to
+    /// back, including the per-cycle transient-freeze draw.
     pub fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        let frozen = ctx.fault_frozen(self.node);
+        self.tick_present(frozen, ctx);
+        self.tick_arbitrate();
+        self.tick_apply(ctx);
+    }
+
+    // ------------------------------------------------------- tick stages
+
+    /// Stage 1: starts the cycle (freshness promotion), computes the
+    /// presented flit per input — for NoX running the decode plan,
+    /// possibly consuming the cycle to latch an encoded word — and builds
+    /// the credit-qualified per-output request sets.
+    ///
+    /// `frozen` is this cycle's transient-fault freeze for this router
+    /// (drawn by the caller exactly once per router per cycle); a frozen
+    /// router loses the whole cycle, and the later stages no-op.
+    pub(crate) fn tick_present(&mut self, frozen: bool, ctx: &mut TickCtx<'_>) {
+        self.scratch.frozen = frozen;
+        if frozen {
+            return;
+        }
         for i in &mut self.inputs {
             i.begin_cycle();
         }
-        match self.arch {
-            Arch::Nox => self.tick_nox(ctx),
-            Arch::SpecFast | Arch::SpecAccurate => self.tick_spec(ctx),
-            Arch::NonSpec => self.tick_nonspec(ctx),
+        self.collect_presented(ctx);
+        self.build_request_sets();
+    }
+
+    /// Stage 2: ticks every credited output's control engine against the
+    /// request sets from stage 1 and records its decision. Pure control
+    /// logic — no counters, no link traffic, no credit movement.
+    pub(crate) fn tick_arbitrate(&mut self) {
+        if self.scratch.frozen {
+            return;
         }
+        let TickScratch {
+            reqs,
+            fresh,
+            decisions,
+            ..
+        } = &mut self.scratch;
+        decisions.clear();
+        for (o, out) in self.outputs.iter_mut().enumerate() {
+            if out.credits == 0 {
+                // Credit exhaustion freezes the whole output: nothing can
+                // traverse, and ticking the controller would tear down a
+                // valid schedule (DESIGN.md, clarification 4).
+                decisions.push(Decision::Skip);
+                continue;
+            }
+            decisions.push(match &mut out.engine {
+                Engine::NonSpec(e) => Decision::NonSpec(e.tick(reqs[o])),
+                Engine::Spec(e) => Decision::Spec(e.tick(reqs[o], fresh[o])),
+                Engine::Nox(e) => Decision::Nox(e.tick(reqs[o])),
+            });
+        }
+    }
+
+    /// Stage 3: applies stage 2's decisions — drives link words (possibly
+    /// XOR-encoded, possibly invalid on a collision/abort), consumes
+    /// serviced flits, returns credits upstream, and counts every
+    /// energy-relevant event.
+    pub(crate) fn tick_apply(&mut self, ctx: &mut TickCtx<'_>) {
+        if self.scratch.frozen {
+            return;
+        }
+        let mut presented = std::mem::take(&mut self.scratch.presented);
+        let decisions = std::mem::take(&mut self.scratch.decisions);
+        for (o, d) in decisions.iter().enumerate() {
+            let out = PortId(o as u8);
+            match d {
+                Decision::Skip => {}
+                Decision::Nox(d) => self.apply_nox(out, *d, &mut presented, ctx),
+                Decision::Spec(d) => self.apply_spec(out, *d, &mut presented, ctx),
+                Decision::NonSpec(d) => self.apply_nonspec(out, *d, &mut presented, ctx),
+            }
+        }
+        // Return the buffers so the next cycle reuses their allocations.
+        self.scratch.presented = presented;
+        self.scratch.decisions = decisions;
     }
 
     // ------------------------------------------------------------ helpers
 
-    /// Computes presented flits for all inputs. For NoX this also performs
-    /// decode-register latches (which consume the input's cycle).
-    fn collect_presented(&mut self, ctx: &mut TickCtx<'_>) -> Vec<Option<Presented>> {
-        let mut out = Vec::with_capacity(self.inputs.len());
+    /// Computes presented flits for all inputs into the scratch table.
+    /// For NoX this also performs decode-register latches (which consume
+    /// the input's cycle).
+    fn collect_presented(&mut self, ctx: &mut TickCtx<'_>) {
+        let out = &mut self.scratch.presented;
+        out.clear();
         let node = self.node;
         let topo = self.topo;
+        let arch = self.arch;
         for (idx, input) in self.inputs.iter_mut().enumerate() {
-            let presented = match self.arch {
+            let presented = match arch {
                 Arch::Nox => match input.decoder.plan(input.fifo.front()) {
                     DecodePlan::Idle => None,
                     DecodePlan::Latch => {
@@ -584,7 +721,6 @@ impl Router {
             };
             out.push(presented);
         }
-        out
     }
 
     /// Truncates a poisoned decode chain at `input`, accounting for the
@@ -618,13 +754,21 @@ impl Router {
     ) {
     }
 
-    /// Builds the per-output request sets from presented flits, qualified
-    /// by downstream credit. Also returns the per-output fresh sets for
-    /// Spec-Fast.
-    fn request_sets(&self, presented: &[Option<Presented>]) -> (Vec<RequestSet>, Vec<PortSet>) {
+    /// Builds the per-output request sets (and the per-output fresh sets
+    /// for Spec-Fast) from the presented flits, qualified by downstream
+    /// credit, into the scratch buffers.
+    fn build_request_sets(&mut self) {
+        let TickScratch {
+            presented,
+            reqs,
+            fresh,
+            ..
+        } = &mut self.scratch;
         let n = self.inputs.len();
-        let mut reqs = vec![RequestSet::default(); n];
-        let mut fresh = vec![PortSet::EMPTY; n];
+        reqs.clear();
+        reqs.resize(n, RequestSet::default());
+        fresh.clear();
+        fresh.resize(n, PortSet::EMPTY);
         for (idx, p) in presented.iter().enumerate() {
             let Some(p) = p else { continue };
             let o = p.out.index();
@@ -643,7 +787,6 @@ impl Router {
                 fresh[o].insert(ip);
             }
         }
-        (reqs, fresh)
     }
 
     /// Consumes a serviced flit at input `i`: commits the decode action,
@@ -707,6 +850,12 @@ impl Router {
         // servicing afterwards reads only the decode action and tail
         // flag. In the common single-input case the word reaches the
         // link with zero allocations.
+        // A multi-input drive is an XOR encode: bracket the fold with
+        // phase marks so its cost lands in `sim.encode`, not `sim.drive`.
+        #[cfg(feature = "telemetry")]
+        if drive.len() > 1 {
+            ctx.phase_mark(nox_telemetry::phase::SIM_DRIVE);
+        }
         let mut word: Option<Word> = None;
         for i in drive.iter() {
             let p = presented[i.index()]
@@ -717,6 +866,10 @@ impl Router {
                 None => w,
                 Some(acc) => acc.xor(&w),
             });
+        }
+        #[cfg(feature = "telemetry")]
+        if drive.len() > 1 {
+            ctx.phase_mark(nox_telemetry::phase::SIM_ENCODE);
         }
         let word = word.expect("engine drove an empty input set");
         let op = &mut self.outputs[out.index()];
@@ -735,116 +888,92 @@ impl Router {
 
     // ---------------------------------------------------------------- NoX
 
-    #[allow(clippy::needless_range_loop)] // indices couple reqs[o] with self.outputs[o]
-    fn tick_nox(&mut self, ctx: &mut TickCtx<'_>) {
-        let mut presented = self.collect_presented(ctx);
-        let (reqs, _) = self.request_sets(&presented);
-        for o in 0..self.outputs.len() {
-            if self.outputs[o].credits == 0 {
-                // Credit exhaustion freezes the whole output: nothing can
-                // traverse, and ticking the controller would tear down a
-                // valid schedule (DESIGN.md, clarification 4).
-                continue;
+    fn apply_nox(
+        &mut self,
+        out: PortId,
+        d: nox_core::NoxDecision,
+        presented: &mut [Option<Presented>],
+        ctx: &mut TickCtx<'_>,
+    ) {
+        if d.granted.is_some() {
+            ctx.counters.arbitrations += 1;
+        }
+        if d.aborted {
+            // Invalid word on the link: full channel energy, nothing
+            // delivered, no credit consumed.
+            ctx.counters.aborts += 1;
+            ctx.counters.link_wasted += 1;
+            ctx.counters.xbar_traversals += 1;
+            ctx.counters.xbar_inputs_active += d.drive.len() as u64;
+            ctx.probe_wasted(self.node, out, d.drive.len() as u8, true);
+            return;
+        }
+        if !d.drive.is_empty() {
+            if d.encoded {
+                ctx.counters.encoded_transfers += 1;
+                ctx.probe_encoded(self.node, out, d.drive.len() as u8);
             }
-            let Engine::Nox(engine) = &mut self.outputs[o].engine else {
-                unreachable!("NoX router with non-NoX engine");
-            };
-            let d = engine.tick(reqs[o]);
-            if d.granted.is_some() {
-                ctx.counters.arbitrations += 1;
-            }
-            if d.aborted {
-                // Invalid word on the link: full channel energy, nothing
-                // delivered, no credit consumed.
-                ctx.counters.aborts += 1;
-                ctx.counters.link_wasted += 1;
-                ctx.counters.xbar_traversals += 1;
-                ctx.counters.xbar_inputs_active += d.drive.len() as u64;
-                ctx.probe_wasted(self.node, PortId(o as u8), d.drive.len() as u8, true);
-                continue;
-            }
-            if !d.drive.is_empty() {
-                if d.encoded {
-                    ctx.counters.encoded_transfers += 1;
-                    ctx.probe_encoded(self.node, PortId(o as u8), d.drive.len() as u8);
-                }
-                self.drive_link(PortId(o as u8), d.drive, &mut presented, ctx);
-            }
-            for i in d.serviced.iter() {
-                let p = presented[i.index()]
-                    .as_ref()
-                    .expect("NoX engine serviced an input that presented nothing");
-                self.service_input(i, p.action, p.info.tail, ctx);
-            }
+            self.drive_link(out, d.drive, presented, ctx);
+        }
+        for i in d.serviced.iter() {
+            let p = presented[i.index()]
+                .as_ref()
+                .expect("NoX engine serviced an input that presented nothing");
+            self.service_input(i, p.action, p.info.tail, ctx);
         }
     }
 
     // --------------------------------------------------------------- spec
 
-    #[allow(clippy::needless_range_loop)]
-    fn tick_spec(&mut self, ctx: &mut TickCtx<'_>) {
-        let mut presented = self.collect_presented(ctx);
-        let (reqs, fresh) = self.request_sets(&presented);
-        for o in 0..self.outputs.len() {
-            if self.outputs[o].credits == 0 {
-                // Zero-credit freeze: reservations survive the stall
-                // (DESIGN.md, clarification 4).
-                continue;
-            }
-            let Engine::Spec(engine) = &mut self.outputs[o].engine else {
-                unreachable!("spec router with non-spec engine");
-            };
-            let d = engine.tick(reqs[o], fresh[o]);
-            if d.granted.is_some() {
-                ctx.counters.arbitrations += 1;
-            }
-            if !d.collided.is_empty() {
-                // Speculation failed: an indeterminate value crosses the
-                // link (§3.2) — wasted channel energy plus switch activity.
-                ctx.counters.collisions += 1;
-                ctx.counters.link_wasted += 1;
-                ctx.counters.xbar_traversals += 1;
-                ctx.counters.xbar_inputs_active += d.collided.len() as u64;
-                ctx.probe_wasted(self.node, PortId(o as u8), d.collided.len() as u8, false);
-            }
-            if d.wasted_reservation {
-                ctx.counters.wasted_reservations += 1;
-            }
-            if let Some(i) = d.drive {
-                self.drive_link(PortId(o as u8), PortSet::single(i), &mut presented, ctx);
-                let p = presented[i.index()]
-                    .as_ref()
-                    .expect("spec engine granted an input that presented nothing");
-                self.service_input(i, p.action, p.info.tail, ctx);
-            }
+    fn apply_spec(
+        &mut self,
+        out: PortId,
+        d: nox_core::SpecDecision,
+        presented: &mut [Option<Presented>],
+        ctx: &mut TickCtx<'_>,
+    ) {
+        if d.granted.is_some() {
+            ctx.counters.arbitrations += 1;
+        }
+        if !d.collided.is_empty() {
+            // Speculation failed: an indeterminate value crosses the
+            // link (§3.2) — wasted channel energy plus switch activity.
+            ctx.counters.collisions += 1;
+            ctx.counters.link_wasted += 1;
+            ctx.counters.xbar_traversals += 1;
+            ctx.counters.xbar_inputs_active += d.collided.len() as u64;
+            ctx.probe_wasted(self.node, out, d.collided.len() as u8, false);
+        }
+        if d.wasted_reservation {
+            ctx.counters.wasted_reservations += 1;
+        }
+        if let Some(i) = d.drive {
+            self.drive_link(out, PortSet::single(i), presented, ctx);
+            let p = presented[i.index()]
+                .as_ref()
+                .expect("spec engine granted an input that presented nothing");
+            self.service_input(i, p.action, p.info.tail, ctx);
         }
     }
 
     // ------------------------------------------------------------ nonspec
 
-    #[allow(clippy::needless_range_loop)]
-    fn tick_nonspec(&mut self, ctx: &mut TickCtx<'_>) {
-        let mut presented = self.collect_presented(ctx);
-        let (reqs, _) = self.request_sets(&presented);
-        for o in 0..self.outputs.len() {
-            if self.outputs[o].credits == 0 {
-                // Zero-credit freeze (DESIGN.md, clarification 4).
-                continue;
-            }
-            let Engine::NonSpec(engine) = &mut self.outputs[o].engine else {
-                unreachable!("non-spec router with non-sequential engine");
-            };
-            let d = engine.tick(reqs[o]);
-            if d.granted {
-                ctx.counters.arbitrations += 1;
-            }
-            if let Some(i) = d.drive {
-                self.drive_link(PortId(o as u8), PortSet::single(i), &mut presented, ctx);
-                let p = presented[i.index()]
-                    .as_ref()
-                    .expect("sequential engine granted an input that presented nothing");
-                self.service_input(i, p.action, p.info.tail, ctx);
-            }
+    fn apply_nonspec(
+        &mut self,
+        out: PortId,
+        d: nox_core::NonSpecDecision,
+        presented: &mut [Option<Presented>],
+        ctx: &mut TickCtx<'_>,
+    ) {
+        if d.granted {
+            ctx.counters.arbitrations += 1;
+        }
+        if let Some(i) = d.drive {
+            self.drive_link(out, PortSet::single(i), presented, ctx);
+            let p = presented[i.index()]
+                .as_ref()
+                .expect("sequential engine granted an input that presented nothing");
+            self.service_input(i, p.action, p.info.tail, ctx);
         }
     }
 }

@@ -1,4 +1,4 @@
-//! Workspace determinism lint: `detlint [PATH ...]`.
+//! Workspace determinism lint: `detlint [--audit] [PATH ...]`.
 //!
 //! Scans `.rs` sources for determinism hazards (see
 //! [`nox_statics::lint`]) and exits non-zero when any finding survives
@@ -6,19 +6,30 @@
 //! arguments, scans `crates/`. Directory walks skip `fixtures/`
 //! directories; naming a fixture file explicitly scans it anyway, which
 //! is how CI proves the lint still fires on a seeded violation.
+//!
+//! `--audit` additionally checks the allow directives themselves:
+//! `allow(wall_clock)` is policy-restricted to the self-profiling crates
+//! (`nox-telemetry`, `nox-probe`) and the perf benchmark (`bench`), so a
+//! wall-clock read can never hide behind an `allow` inside the
+//! simulation or analysis code.
 
 use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let roots: Vec<String> = if args.is_empty() {
-        vec!["crates".to_string()]
-    } else {
-        args
+    let audit = args.iter().any(|a| a == "--audit");
+    let roots: Vec<String> = {
+        let named: Vec<String> = args.into_iter().filter(|a| a != "--audit").collect();
+        if named.is_empty() {
+            vec!["crates".to_string()]
+        } else {
+            named
+        }
     };
 
     let mut findings = Vec::new();
+    let mut audit_findings = Vec::new();
     for root in &roots {
         match nox_statics::lint::scan_path(Path::new(root)) {
             Ok(f) => findings.extend(f),
@@ -27,17 +38,35 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        if audit {
+            match nox_statics::lint::audit_path(Path::new(root)) {
+                Ok(f) => audit_findings.extend(f),
+                Err(e) => {
+                    eprintln!("error: {root}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
     }
     findings.sort();
+    audit_findings.sort();
 
     for f in &findings {
         println!("{f}");
     }
-    if findings.is_empty() {
-        println!("detlint: clean ({} root(s) scanned)", roots.len());
+    for f in &audit_findings {
+        println!("{f}");
+    }
+    let total = findings.len() + audit_findings.len();
+    if total == 0 {
+        println!(
+            "detlint: clean ({} root(s) scanned{})",
+            roots.len(),
+            if audit { ", allowlist audited" } else { "" }
+        );
         ExitCode::SUCCESS
     } else {
-        println!("detlint: {} finding(s)", findings.len());
+        println!("detlint: {total} finding(s)");
         ExitCode::FAILURE
     }
 }

@@ -44,8 +44,18 @@ pub const ARTIFACT_CRATES: &[&str] = &[
     "nox-probe",
     "nox-sim",
     "nox-statics",
+    "nox-telemetry",
     "nox-traffic",
 ];
+
+/// Crates (by `crates/<dir>` name) whose sources may carry
+/// `allow(wall_clock)` directives: the self-profiling layers whose whole
+/// job is reading the wall clock, and the perf benchmark whose artifact
+/// *is* wall time. The allowlist audit ([`audit_path`]) flags a
+/// wall-clock allow anywhere else — the directive suppresses the lint,
+/// so the audit is what keeps real-time reads from quietly spreading
+/// into the simulation and analysis crates under cover of an `allow`.
+pub const WALL_CLOCK_ALLOW_CRATES: &[&str] = &["bench", "nox-probe", "nox-telemetry"];
 
 /// The lint rules.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -355,6 +365,26 @@ fn declared_hash_names(code_line: &str) -> Vec<String> {
     names
 }
 
+/// `detlint: allow(...)` directives in the file's comments, as
+/// (0-based line, rule) pairs in line order.
+fn allow_directives(comments: &[String]) -> Vec<(usize, Rule)> {
+    let mut out = Vec::new();
+    for (ln, comment) in comments.iter().enumerate() {
+        let mut rest = comment.as_str();
+        while let Some(pos) = rest.find("detlint: allow(") {
+            rest = &rest[pos + "detlint: allow(".len()..];
+            let Some(close) = rest.find(')') else { break };
+            for name in rest[..close].split(',') {
+                if let Some(rule) = Rule::parse(name.trim()) {
+                    out.push((ln, rule));
+                }
+            }
+            rest = &rest[close..];
+        }
+    }
+    out
+}
+
 /// Scans one source text. `file` labels findings; `artifact_crate`
 /// enables the declaration-level `unordered_collection` rule.
 pub fn scan_source(file: &str, src: &str, artifact_crate: bool) -> Vec<Finding> {
@@ -364,22 +394,12 @@ pub fn scan_source(file: &str, src: &str, artifact_crate: bool) -> Vec<Finding> 
 
     // Allow directives: each applies to its own line and the next.
     let mut allowed: Vec<BTreeSet<Rule>> = vec![BTreeSet::new(); code_lines.len() + 1];
-    for (ln, comment) in masked.comments.iter().enumerate() {
-        let mut rest = comment.as_str();
-        while let Some(pos) = rest.find("detlint: allow(") {
-            rest = &rest[pos + "detlint: allow(".len()..];
-            let Some(close) = rest.find(')') else { break };
-            for name in rest[..close].split(',') {
-                if let Some(rule) = Rule::parse(name.trim()) {
-                    if ln < allowed.len() {
-                        allowed[ln].insert(rule);
-                    }
-                    if ln + 1 < allowed.len() {
-                        allowed[ln + 1].insert(rule);
-                    }
-                }
-            }
-            rest = &rest[close..];
+    for (ln, rule) in allow_directives(&masked.comments) {
+        if ln < allowed.len() {
+            allowed[ln].insert(rule);
+        }
+        if ln + 1 < allowed.len() {
+            allowed[ln + 1].insert(rule);
         }
     }
 
@@ -468,6 +488,81 @@ pub fn scan_path(root: &Path) -> std::io::Result<Vec<Finding>> {
             .map(|c| ARTIFACT_CRATES.contains(&c.as_str()))
             .unwrap_or(false);
         findings.extend(scan_source(&f.display().to_string(), &src, artifact));
+    }
+    Ok(findings)
+}
+
+/// One allowlist-audit violation: an `allow(...)` directive in a crate
+/// the policy does not permit to carry it.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AuditFinding {
+    /// File the directive is in.
+    pub file: String,
+    /// 1-based line of the directive.
+    pub line: usize,
+    /// The rule the directive suppresses.
+    pub rule: Rule,
+}
+
+impl fmt::Display for AuditFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: allow({}) outside the permitted crates ({})",
+            self.file,
+            self.line,
+            self.rule,
+            WALL_CLOCK_ALLOW_CRATES.join(", ")
+        )
+    }
+}
+
+/// Audits one source text's `allow` directives against the policy:
+/// `wall_clock` allows are permitted only in [`WALL_CLOCK_ALLOW_CRATES`]
+/// (`crate_name` is the `crates/<dir>` component; `None` — a path
+/// outside the workspace layout — permits nothing). The other rules'
+/// allows are unrestricted: suppressing `thread_count` on a pool-sizing
+/// line is the directive's intended use anywhere.
+pub fn audit_source(file: &str, src: &str, crate_name: Option<&str>) -> Vec<AuditFinding> {
+    let masked = mask_source(src);
+    allow_directives(&masked.comments)
+        .into_iter()
+        .filter(|(_, rule)| {
+            *rule == Rule::WallClock
+                && !crate_name.is_some_and(|c| WALL_CLOCK_ALLOW_CRATES.contains(&c))
+        })
+        .map(|(ln, rule)| AuditFinding {
+            file: file.to_string(),
+            line: ln + 1,
+            rule,
+        })
+        .collect()
+}
+
+/// Audits a file, or recursively a directory tree, of `.rs` sources
+/// against the allowlist policy. Walks the same set of files as
+/// [`scan_path`].
+///
+/// # Errors
+///
+/// Propagates I/O errors from reading the tree.
+pub fn audit_path(root: &Path) -> std::io::Result<Vec<AuditFinding>> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    if root.is_file() {
+        files.push(root.to_path_buf());
+    } else {
+        collect_rs_files(root, &mut files)?;
+        files.sort();
+    }
+    let mut findings = Vec::new();
+    for f in files {
+        let src = std::fs::read_to_string(&f)?;
+        let crate_name = crate_of(&f);
+        findings.extend(audit_source(
+            &f.display().to_string(),
+            &src,
+            crate_name.as_deref(),
+        ));
     }
     Ok(findings)
 }
@@ -590,6 +685,43 @@ mod tests {
             assert_eq!(Rule::parse(r.name()), Some(r));
         }
         assert_eq!(Rule::parse("bogus"), None);
+    }
+
+    #[test]
+    fn audit_flags_wall_clock_allows_outside_permitted_crates() {
+        let src = "fn f() {\n    let t = Instant::now(); // detlint: allow(wall_clock)\n}\n";
+        // Simulation/analysis crates must not carry the directive.
+        let f = audit_source("crates/nox-sim/src/sim.rs", src, Some("nox-sim"));
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].line, f[0].rule), (2, Rule::WallClock));
+        assert!(f[0].to_string().contains("allow(wall_clock)"));
+        // The profiling layers and the perf benchmark may.
+        for ok in WALL_CLOCK_ALLOW_CRATES {
+            assert!(audit_source("x.rs", src, Some(ok)).is_empty(), "{ok}");
+        }
+        // Outside the workspace layout nothing is permitted.
+        assert_eq!(audit_source("x.rs", src, None).len(), 1);
+    }
+
+    #[test]
+    fn audit_ignores_other_rules_and_strings() {
+        let src = "// detlint: allow(thread_count, unordered_iter)\n\
+                   let s = \"detlint: allow(wall_clock)\";\n";
+        assert!(audit_source("x.rs", src, Some("nox-sim")).is_empty());
+    }
+
+    #[test]
+    fn workspace_wall_clock_allows_obey_the_policy() {
+        // The live audit over this workspace's own sources: every
+        // wall-clock allow must sit in a permitted crate.
+        // Canonicalized so `crate_of` sees one clean `crates/<dir>`
+        // component (the manifest-relative path has a `../..` in it).
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../crates")
+            .canonicalize()
+            .expect("workspace crates/ exists");
+        let findings = audit_path(&root).expect("scan workspace");
+        assert!(findings.is_empty(), "{findings:?}");
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Live telemetry streaming: line-delimited JSON progress events.
+//!
+//! The CLI's `--stream <file|->` flag installs a sink here; instrumented
+//! code emits one self-contained JSON object per line through
+//! [`emit`]. Emission is serialized under one lock, and the sequence
+//! number is assigned under that same lock, so the frame order on the
+//! wire matches the order of `emit` calls exactly. Because `nox-exec`
+//! reports job completions through an in-order cursor, that order is
+//! deterministic at every thread count — the property the stream-framing
+//! tests assert, and the wire contract a future `noxsim serve` inherits.
+//!
+//! When no sink is installed, [`emit`] is a single relaxed atomic load.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static SINK: Mutex<Option<Sink>> = Mutex::new(None);
+
+struct Sink {
+    writer: Box<dyn Write + Send>,
+    seq: u64,
+}
+
+/// Installs a stream sink; subsequent [`emit`] calls write to it.
+pub fn set(writer: Box<dyn Write + Send>) {
+    let mut sink = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    *sink = Some(Sink { writer, seq: 0 });
+    ACTIVE.store(true, Ordering::Relaxed);
+}
+
+/// Removes the sink (flushing it), ending streaming.
+pub fn clear() {
+    let mut sink = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(mut s) = sink.take() {
+        let _ = s.writer.flush();
+    }
+    ACTIVE.store(false, Ordering::Relaxed);
+}
+
+/// `true` when a sink is installed.
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// One field value of a stream event.
+#[derive(Clone, Copy, Debug)]
+pub enum Field<'a> {
+    /// A JSON string (escaped on emission).
+    Str(&'a str),
+    /// An unsigned integer.
+    U64(u64),
+    /// A float (emitted with shortest round-trip formatting).
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+/// Appends `s` to `out` as a JSON string literal.
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Emits one event line: `{"event":<kind>,"seq":N,<fields...>}`.
+///
+/// A no-op when no sink is installed. A sink write error deactivates the
+/// stream (progress telemetry must never abort a run).
+pub fn emit(kind: &str, fields: &[(&str, Field<'_>)]) {
+    if !active() {
+        return;
+    }
+    let mut sink = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(s) = sink.as_mut() else { return };
+    let mut line = String::with_capacity(64);
+    line.push_str("{\"event\":");
+    push_json_str(&mut line, kind);
+    line.push_str(",\"seq\":");
+    line.push_str(&s.seq.to_string());
+    for (key, value) in fields {
+        line.push(',');
+        push_json_str(&mut line, key);
+        line.push(':');
+        match value {
+            Field::Str(v) => push_json_str(&mut line, v),
+            Field::U64(v) => line.push_str(&v.to_string()),
+            Field::F64(v) => {
+                if v.is_finite() {
+                    line.push_str(&v.to_string())
+                } else {
+                    line.push_str("null")
+                }
+            }
+            Field::Bool(v) => line.push_str(if *v { "true" } else { "false" }),
+        }
+    }
+    line.push_str("}\n");
+    s.seq += 1;
+    // Write-and-flush per line: each frame is complete on the wire as
+    // soon as it is emitted, which is the point of live streaming.
+    if s.writer.write_all(line.as_bytes()).is_err() || s.writer.flush().is_err() {
+        *sink = None;
+        ACTIVE.store(false, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// A sink capturing emitted bytes for inspection.
+    #[derive(Clone, Default)]
+    pub struct Capture(Arc<StdMutex<Vec<u8>>>);
+
+    impl Capture {
+        pub fn contents(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    impl Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// Tests share the process-global sink; serialize them.
+    static LOCK: StdMutex<()> = StdMutex::new(());
+
+    #[test]
+    fn emit_without_sink_is_a_no_op() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        clear();
+        emit("job", &[("index", Field::U64(1))]);
+        assert!(!active());
+    }
+
+    #[test]
+    fn frames_are_complete_json_lines_with_sequence_numbers() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let cap = Capture::default();
+        set(Box::new(cap.clone()));
+        emit(
+            "stage",
+            &[("stage", Field::Str("sweep.nox")), ("jobs", Field::U64(12))],
+        );
+        emit(
+            "job",
+            &[
+                ("index", Field::U64(0)),
+                ("ms", Field::F64(1.5)),
+                ("ok", Field::Bool(true)),
+            ],
+        );
+        clear();
+        let out = cap.contents();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            r#"{"event":"stage","seq":0,"stage":"sweep.nox","jobs":12}"#
+        );
+        assert_eq!(
+            lines[1],
+            r#"{"event":"job","seq":1,"index":0,"ms":1.5,"ok":true}"#
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut s = String::new();
+        push_json_str(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

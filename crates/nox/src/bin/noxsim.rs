@@ -16,16 +16,26 @@
 //! noxsim claims  [--quick|--smoke|--full] [--out FILE] [--baseline FILE]
 //!                [--update-baseline] [--threads N]
 //! noxsim faults  [--quick|--smoke|--full] [--json] [--out FILE] [--threads N]
+//! noxsim profile HARNESS [--quick|--smoke|--full] [--json] [--out FILE]
+//!                [--chrome FILE] [--threads N] [--stream FILE|-]
 //! noxsim bench-compare OLD.json NEW.json [--threshold PCT]
 //! noxsim info
 //! ```
 //!
-//! `--threads N` fans the heavy sweeps (`verify`, `claims`, `faults`) out
-//! over a deterministic worker pool ([`nox::exec`]); results reduce in
-//! submission order, so every table, claim status, and JSON artifact is
-//! bit-identical at any thread count. `N` defaults to the machine's
-//! available parallelism; `--threads 1` runs everything inline on the
-//! calling thread, exactly as the serial code paths always have.
+//! `--threads N` fans the heavy sweeps (`verify`, `claims`, `faults`,
+//! `profile`) out over a deterministic worker pool ([`nox::exec`]);
+//! results reduce in submission order, so every table, claim status, and
+//! JSON artifact is bit-identical at any thread count. `N` defaults to
+//! the machine's available parallelism; `--threads 1` runs everything
+//! inline on the calling thread, exactly as the serial code paths always
+//! have.
+//!
+//! `profile` runs one figure harness under the span profiler and emits
+//! the `nox-bench/profile/v1` phase-attribution artifact plus a
+//! human-readable breakdown (phase table, executor worker utilization,
+//! latency histograms). `--stream FILE|-` additionally emits
+//! line-delimited JSON progress events while any instrumented command
+//! runs — the wire format a future `noxsim serve` would speak.
 //!
 //! The probe flags need the `probe` cargo feature
 //! (`cargo run --features probe --bin noxsim -- ...`); without it they
@@ -49,10 +59,11 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::FAILURE;
     };
-    // `bench-compare` takes positional artifact paths ahead of its flags;
-    // every other command is flags-only (parse_opts rejects bare args).
+    // `bench-compare` takes positional artifact paths ahead of its flags
+    // (`lint` roots, `profile` a harness name); every other command is
+    // flags-only (parse_opts rejects bare args).
     let (positional, flags) = match cmd.as_str() {
-        "bench-compare" | "lint" => {
+        "bench-compare" | "lint" | "profile" => {
             let n = rest
                 .iter()
                 .position(|a| a.starts_with("--"))
@@ -80,6 +91,7 @@ fn main() -> ExitCode {
         "lint" => cmd_lint(positional, &opts),
         "claims" => cmd_claims(&opts),
         "faults" => cmd_faults(&opts),
+        "profile" => cmd_profile(positional, &opts),
         "bench-compare" => cmd_bench_compare(positional, &opts),
         "info" => cmd_info(),
         "help" | "--help" | "-h" => {
@@ -110,16 +122,21 @@ fn usage() {
            heatmap  per-router utilization/occupancy grids (needs --features probe)\n\
            verify   model-check invariants + sanitized sweep (--quick: fast CI bounds)\n\
            statics  static design analysis: deadlock CDG proofs + credit sizing (--json, --out FILE)\n\
-           lint     determinism lint over .rs sources (default root: crates/)\n\
+           lint     determinism lint over .rs sources (default root: crates/; --audit checks the allow directives against policy)\n\
            claims   evaluate the paper-conformance registry and diff CLAIMS_BASELINE.json (--smoke/--full tiers, --update-baseline re-pins)\n\
            faults   fault-injection campaigns: XOR-chain fragility + CRC/retransmission recovery (--json, --out FILE)\n\
+           profile HARNESS  span-profile one figure harness; writes the nox-bench/profile/v1 artifact (--json, --out FILE, --chrome FILE)\n\
            bench-compare OLD.json NEW.json  diff two perf artifacts (--threshold PCT, default 10)\n\
            info     clock periods, area, configuration summary\n\
          \n\
          common flags: --arch all|nonspec|fast|acc|nox   --cmesh   --csv\n\
          \n\
-         verify/claims/faults: --threads N|auto  deterministic worker pool (default:\n\
-           all cores; artifacts are bit-identical at any thread count)\n\
+         verify/claims/faults/profile: --threads N|auto  deterministic worker pool\n\
+           (default: all cores; artifacts are bit-identical at any thread count)\n\
+         \n\
+         streaming (verify/claims/faults/profile):\n\
+           --stream FILE|-    emit line-delimited JSON progress events to FILE\n\
+                              (or stdout with `-`) while the command runs\n\
          \n\
          telemetry (sweep/app/replay, needs a build with --features probe):\n\
            --probe            attach the cycle-level probe; print the JSON run report\n\
@@ -143,7 +160,15 @@ fn parse_opts(rest: &[String]) -> Result<Opts, String> {
         // Boolean flags take no value.
         if matches!(
             name,
-            "csv" | "cmesh" | "quick" | "smoke" | "full" | "json" | "probe" | "update-baseline"
+            "csv"
+                | "cmesh"
+                | "quick"
+                | "smoke"
+                | "full"
+                | "json"
+                | "probe"
+                | "update-baseline"
+                | "audit"
         ) {
             opts.insert(name.to_string(), "true".into());
             continue;
@@ -198,6 +223,107 @@ fn executor(opts: &Opts) -> Result<nox::exec::Executor, String> {
             .map(nox::exec::Executor::new)
             .map_err(|e| format!("--threads: {e}")),
     }
+}
+
+/// Installs the line-delimited JSON event stream when `--stream FILE|-`
+/// is given (`-` streams to stdout). Every subsequent executor stage and
+/// job emits a progress event; see DESIGN.md §14 for the wire format.
+/// Returns whether a stream was installed, for [`finish_stream`].
+fn setup_stream(opts: &Opts, cmd: &str) -> Result<bool, String> {
+    use nox::telemetry::stream::{self, Field};
+    let Some(target) = opts.get("stream") else {
+        return Ok(false);
+    };
+    let writer: Box<dyn std::io::Write + Send> = if target == "-" {
+        Box::new(std::io::stdout())
+    } else {
+        Box::new(
+            std::fs::File::create(target)
+                .map_err(|e| format!("--stream: could not create {target}: {e}"))?,
+        )
+    };
+    stream::set(writer);
+    stream::emit("run", &[("cmd", Field::Str(cmd))]);
+    Ok(true)
+}
+
+/// Emits the closing `done` event and detaches the stream sink.
+fn finish_stream(streaming: bool) {
+    if streaming {
+        nox::telemetry::stream::emit("done", &[]);
+        nox::telemetry::stream::clear();
+    }
+}
+
+/// Runs one figure harness under the span profiler and reports where the
+/// wall time went: the per-phase attribution table, executor worker
+/// utilization, and latency histograms, plus the versioned
+/// `nox-bench/profile/v1` JSON artifact (`--out FILE`, or `--json` to
+/// print it). `--chrome FILE` additionally writes the recorded spans as
+/// a Chrome trace-event document (needs a build with `--features probe`).
+fn cmd_profile(positional: &[String], opts: &Opts) -> Result<(), String> {
+    use nox::analysis::harness::{run_by_name, HARNESS_NAMES};
+    use nox::analysis::{profile, Tier};
+
+    let [name] = positional else {
+        return Err(format!(
+            "profile needs one harness name; one of: {}",
+            HARNESS_NAMES.join(" ")
+        ));
+    };
+    if !HARNESS_NAMES.contains(&name.as_str()) {
+        return Err(format!(
+            "unknown harness {name:?}; one of: {}",
+            HARNESS_NAMES.join(" ")
+        ));
+    }
+    #[cfg(not(feature = "probe"))]
+    if opts.contains_key("chrome") {
+        return Err("--chrome needs the trace exporter; rebuild with --features probe".into());
+    }
+    let tier = if opts.contains_key("smoke") {
+        Tier::Smoke
+    } else if opts.contains_key("full") {
+        Tier::Full
+    } else {
+        Tier::Quick
+    };
+    let exec = executor(opts)?;
+    let streaming = setup_stream(opts, "profile")?;
+    eprintln!(
+        "profiling {name} at the {} tier on {} thread(s)...",
+        tier.name(),
+        exec.threads()
+    );
+    let (rendered, report) = profile::collect(name, tier, exec.threads(), || {
+        run_by_name(name, tier, &exec)
+    });
+    finish_stream(streaming);
+    let rendered = rendered.expect("harness name validated above");
+    print!("{rendered}");
+    if !rendered.ends_with('\n') {
+        println!();
+    }
+    if opts.contains_key("json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    if let Some(out) = opts.get("out") {
+        std::fs::write(out, format!("{}\n", report.to_json()))
+            .map_err(|e| format!("could not write {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    #[cfg(feature = "probe")]
+    if let Some(path) = opts.get("chrome") {
+        std::fs::write(path, nox::probe::chrome::chrome_spans(report.acc.events()))
+            .map_err(|e| format!("could not write {path}: {e}"))?;
+        eprintln!(
+            "wrote Chrome span trace ({} spans) to {path}",
+            report.acc.events().len()
+        );
+    }
+    Ok(())
 }
 
 fn cmd_sweep(opts: &Opts) -> Result<(), String> {
@@ -613,6 +739,7 @@ fn cmd_verify(opts: &Opts) -> Result<(), String> {
     use nox::verify::{check_with, mutation_smoke_with, scenarios, Bounds};
 
     let exec = executor(opts)?;
+    let streaming = setup_stream(opts, "verify")?;
     let bounds = if opts.contains_key("quick") {
         Bounds::quick()
     } else {
@@ -673,6 +800,7 @@ fn cmd_verify(opts: &Opts) -> Result<(), String> {
     println!("all mutations caught: the invariants have teeth\n");
 
     fault_invariant(&exec)?;
+    finish_stream(streaming);
 
     sanitized_smoke(opts)
 }
@@ -776,28 +904,44 @@ fn cmd_statics(opts: &Opts) -> Result<(), String> {
 /// Runs the determinism lint over the given roots (default `crates/`),
 /// exactly as the standalone `detlint` binary does. Nonzero exit on any
 /// finding that survives the `// detlint: allow(...)` escape hatch.
-fn cmd_lint(positional: &[String], _opts: &Opts) -> Result<(), String> {
+/// `--audit` additionally checks the allow directives themselves:
+/// `allow(wall_clock)` is policy-restricted to the self-profiling crates
+/// and the perf benchmark.
+fn cmd_lint(positional: &[String], opts: &Opts) -> Result<(), String> {
     let roots: Vec<&str> = if positional.is_empty() {
         vec!["crates"]
     } else {
         positional.iter().map(String::as_str).collect()
     };
+    let audit = opts.contains_key("audit");
     let mut findings = Vec::new();
+    let mut audit_findings = Vec::new();
     for root in &roots {
-        findings.extend(
-            nox::statics::lint::scan_path(std::path::Path::new(root))
-                .map_err(|e| format!("{root}: {e}"))?,
-        );
+        let path = std::path::Path::new(root);
+        findings.extend(nox::statics::lint::scan_path(path).map_err(|e| format!("{root}: {e}"))?);
+        if audit {
+            audit_findings
+                .extend(nox::statics::lint::audit_path(path).map_err(|e| format!("{root}: {e}"))?);
+        }
     }
     findings.sort();
+    audit_findings.sort();
     for f in &findings {
         println!("{f}");
     }
-    if findings.is_empty() {
-        println!("lint: clean ({} root(s) scanned)", roots.len());
+    for f in &audit_findings {
+        println!("{f}");
+    }
+    let total = findings.len() + audit_findings.len();
+    if total == 0 {
+        println!(
+            "lint: clean ({} root(s) scanned{})",
+            roots.len(),
+            if audit { ", allowlist audited" } else { "" }
+        );
         Ok(())
     } else {
-        Err(format!("lint: {} determinism finding(s)", findings.len()))
+        Err(format!("lint: {total} determinism finding(s)"))
     }
 }
 
@@ -822,7 +966,9 @@ fn cmd_claims(opts: &Opts) -> Result<(), String> {
         tier.name(),
         exec.threads()
     );
+    let streaming = setup_stream(opts, "claims")?;
     let report = evaluate(&ClaimInputs::gather_with(tier, &exec));
+    finish_stream(streaming);
     print!("{}", report.render());
 
     let out = opts
@@ -900,7 +1046,9 @@ fn cmd_faults(opts: &Opts) -> Result<(), String> {
         tier.name(),
         exec.threads()
     );
+    let streaming = setup_stream(opts, "faults")?;
     let study = faults::run_with(tier, &exec);
+    finish_stream(streaming);
     let doc = format!("{}\n", study.to_json());
     if opts.contains_key("json") {
         print!("{doc}");

@@ -15,6 +15,7 @@
 //! | [`analysis`] | sweeps, saturation/crossover detection, application runs, tables |
 //! | [`exec`] | deterministic parallel executor: ordered reduction over a thread pool |
 //! | [`statics`] | static design analysis: channel-dependency deadlock proofs, credit sizing, determinism lint |
+//! | [`telemetry`] | span profiler, metrics registry, and the line-delimited JSON event stream |
 //! | [`verify`] | bounded model checker for the protocol invariants + mutation smoke |
 //!
 //! # Quickstart
@@ -54,6 +55,7 @@ pub use nox_power as power;
 pub use nox_probe as probe;
 pub use nox_sim as sim;
 pub use nox_statics as statics;
+pub use nox_telemetry as telemetry;
 pub use nox_traffic as traffic;
 pub use nox_verify as verify;
 
