@@ -111,14 +111,22 @@ impl Json {
 
     /// Parses a JSON document from text.
     ///
-    /// Strict enough for the workspace's own artifacts: rejects trailing
-    /// garbage, unterminated strings, and malformed numbers. Unicode
-    /// escapes cover the Basic Multilingual Plane (no surrogate pairs),
-    /// which is all the emitters produce.
+    /// Strict enough for the workspace's own artifacts and hardened for
+    /// adversarial ones (the `noxsim serve` daemon feeds client-supplied
+    /// bytes through here): rejects trailing garbage, unterminated
+    /// strings, malformed or non-finite numbers (`1e999` overflows
+    /// `f64` and is an error, not `inf`), invalid `\u` escapes
+    /// (surrogate halves included), and documents nested deeper than
+    /// [`MAX_DEPTH`] — truncated or hostile input returns `Err`, never
+    /// panics, recurses without bound, or allocates more than a small
+    /// multiple of the input size. Unicode escapes cover the Basic
+    /// Multilingual Plane (no surrogate pairs), which is all the
+    /// emitters produce.
     pub fn parse(text: &str) -> Result<Json, String> {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -130,9 +138,16 @@ impl Json {
     }
 }
 
+/// Maximum container nesting depth [`Json::parse`] accepts. The parser
+/// recurses once per nesting level, so the bound is what keeps a
+/// `[[[[...` document from overflowing the stack; 128 levels is far
+/// beyond any artifact this workspace emits.
+pub const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -186,7 +201,28 @@ impl Parser<'_> {
         }
     }
 
+    /// Bumps the container nesting depth, erroring past [`MAX_DEPTH`] —
+    /// the recursion bound that keeps hostile nesting from overflowing
+    /// the stack. Paired with a decrement when the container closes.
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} levels at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, String> {
+        self.enter()?;
+        let r = self.array_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn array_inner(&mut self) -> Result<Json, String> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -210,6 +246,13 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, String> {
+        self.enter()?;
+        let r = self.object_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn object_inner(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
@@ -315,9 +358,14 @@ impl Parser<'_> {
                 return Ok(Json::UInt(n));
             }
         }
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| format!("malformed number {text:?} at byte {start}"))
+        match text.parse::<f64>() {
+            // A number like `1e999` parses to infinity: the emitters
+            // never produce one (non-finite floats render as `null`),
+            // so a huge number in the input is malformed, not `inf`.
+            Ok(x) if x.is_finite() => Ok(Json::Num(x)),
+            Ok(_) => Err(format!("number {text:?} at byte {start} overflows f64")),
+            Err(_) => Err(format!("malformed number {text:?} at byte {start}")),
+        }
     }
 }
 
@@ -515,5 +563,28 @@ mod tests {
     #[test]
     fn parses_unicode_escapes() {
         assert_eq!(Json::parse(r#""Aé""#).unwrap(), Json::Str("Aé".to_string()));
+    }
+
+    #[test]
+    fn rejects_hostile_nesting_huge_numbers_and_bad_escapes() {
+        // One level under the bound parses; one over errors.
+        let deep_ok = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&deep_ok).is_ok());
+        let deep_bad = format!(
+            "{}0{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(Json::parse(&deep_bad).is_err());
+        // Unclosed nesting must error, not recurse forever.
+        assert!(Json::parse(&"[".repeat(100_000)).is_err());
+        // Numbers that overflow f64 are malformed, not infinite.
+        assert!(Json::parse("1e999").is_err());
+        assert!(Json::parse("-1e999").is_err());
+        assert_eq!(Json::parse("1e308").unwrap().as_f64(), Some(1e308));
+        // Surrogate halves and truncated \u escapes are invalid.
+        for bad in [r#""\ud800""#, r#""\u12""#, r#""\u""#, r#""\q""#] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
     }
 }

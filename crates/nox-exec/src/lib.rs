@@ -35,6 +35,8 @@
 //! assert_eq!(squares, Executor::sequential().map(0..10u64, |_, n| n * n));
 //! ```
 
+use std::fmt;
+use std::panic::AssertUnwindSafe;
 use std::sync::Mutex;
 
 use nox_telemetry::stream::Field;
@@ -127,6 +129,37 @@ fn run_job<T, R>(
         d.sample_ns("exec.queue_wait_ns", wait_ns);
     }
     (result, JobRecord { delta, dur_ns })
+}
+
+/// One job's panic, caught by [`Executor::try_map`]: the submission
+/// index that panicked plus the stringified panic payload.
+///
+/// The payload keeps only its message (`&str` / `String` payloads are
+/// preserved verbatim; anything else is summarized), because the boxed
+/// payload itself is not `Sync` and callers only ever report it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Submission index of the job that panicked.
+    pub index: usize,
+    /// The panic message.
+    pub message: String,
+}
+
+impl fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job {} panicked: {}", self.index, self.message)
+    }
+}
+
+/// Extracts a printable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Per-worker tallies for the utilization gauges.
@@ -328,6 +361,73 @@ impl Executor {
             .collect()
     }
 
+    /// [`map`](Self::map) with per-job panic containment: every slot is
+    /// `Ok(result)` or `Err(JobPanic)`, still in submission order.
+    ///
+    /// Where [`map`](Self::map) re-raises the first worker panic to the
+    /// caller (all-or-nothing, the right default for sweeps whose points
+    /// are expected to succeed), `try_map` catches each job's panic at
+    /// the job boundary: one poisoned item costs exactly its own slot,
+    /// every other job still runs, and the caller decides what a
+    /// per-item failure means. This is the isolation primitive the
+    /// `noxsim serve` daemon builds on — a panicking request becomes a
+    /// structured error instead of taking the process down.
+    ///
+    /// Ordering, telemetry capture, and stream-event semantics are
+    /// identical to [`map`](Self::map); `threads = 1` runs inline on the
+    /// calling thread.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use nox_exec::Executor;
+    ///
+    /// let out = Executor::new(4).try_map(0..4u32, |_, n| {
+    ///     if n == 2 { panic!("poisoned item") }
+    ///     n * 10
+    /// });
+    /// assert_eq!(out[0], Ok(0));
+    /// assert_eq!(out[3], Ok(30));
+    /// assert_eq!(out[2].as_ref().unwrap_err().message, "poisoned item");
+    /// ```
+    pub fn try_map<T, R, F>(
+        &self,
+        items: impl IntoIterator<Item = T>,
+        f: F,
+    ) -> Vec<Result<R, JobPanic>>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        self.try_map_stage("exec.try_map", items, f)
+    }
+
+    /// [`try_map`](Self::try_map) with a stage label (see
+    /// [`map_stage`](Self::map_stage)).
+    pub fn try_map_stage<T, R, F>(
+        &self,
+        stage: &str,
+        items: impl IntoIterator<Item = T>,
+        f: F,
+    ) -> Vec<Result<R, JobPanic>>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        self.map_stage(stage, items, |i, item| {
+            // The catch boundary sits inside the job, so a panic is
+            // contained before it can poison the worker thread or the
+            // result slot: the slot is filled with `Err` and the pool
+            // keeps draining the queue.
+            std::panic::catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(|payload| JobPanic {
+                index: i,
+                message: panic_message(payload),
+            })
+        })
+    }
+
     /// Maps `f` over the index range `0..n` — convenience for work lists
     /// that are naturally "the i-th point of a grid".
     pub fn run<R, F>(&self, n: usize, f: F) -> Vec<R>
@@ -447,6 +547,60 @@ mod tests {
                 panic!("boom");
             }
             i
+        });
+    }
+
+    #[test]
+    fn try_map_contains_panics_in_their_own_slots() {
+        for threads in [1usize, 4] {
+            let out = Executor::new(threads).try_map(0..16u32, |i, n| {
+                if i % 5 == 3 {
+                    panic!("boom at {i}");
+                }
+                n * 2
+            });
+            assert_eq!(out.len(), 16);
+            for (i, slot) in out.iter().enumerate() {
+                if i % 5 == 3 {
+                    let err = slot.as_ref().expect_err("poisoned slot must be Err");
+                    assert_eq!(err.index, i);
+                    assert_eq!(err.message, format!("boom at {i}"));
+                } else {
+                    assert_eq!(slot, &Ok(i as u32 * 2), "healthy slot {i} must survive");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_with_string_payload_and_all_ok() {
+        let out = Executor::new(2).try_map(0..3u32, |i, n| {
+            if i == 1 {
+                std::panic::panic_any(format!("typed {n}"));
+            }
+            n
+        });
+        assert_eq!(out[0], Ok(0));
+        assert_eq!(out[1].as_ref().unwrap_err().message, "typed 1");
+        assert_eq!(out[2], Ok(2));
+        // And a fully healthy run matches map exactly.
+        let healthy = Executor::new(3).try_map(0..8u64, |_, n| n + 1);
+        assert_eq!(
+            healthy.into_iter().collect::<Result<Vec<_>, _>>().unwrap(),
+            Executor::new(3).map(0..8u64, |_, n| n + 1)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn map_still_reraises_panics() {
+        // try_map's containment must not change map's all-or-nothing
+        // contract.
+        Executor::new(2).map(0..4u32, |i, n| {
+            if i == 2 {
+                panic!("boom");
+            }
+            n
         });
     }
 

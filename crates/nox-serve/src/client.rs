@@ -1,0 +1,223 @@
+//! The client: connect, send one request, stream events, survive
+//! daemon restarts.
+//!
+//! Robustness lives in two mechanisms:
+//!
+//! * **Capped exponential backoff** on connect: attempt `n` sleeps
+//!   `min(base << n, max)` before retrying, so a restarting daemon is
+//!   found quickly without being hammered.
+//! * **Idempotent resend**: if the stream ends (EOF) before a terminal
+//!   `result`/`error`/`reject` frame, the client reconnects and sends
+//!   the *same* request again. Artifacts are content-addressed and
+//!   byte-identical across recomputation, so a resend can only hit the
+//!   cache or redo identical work — never duplicate effects.
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use nox_analysis::json::Json;
+
+/// Client configuration.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Daemon socket path.
+    pub socket: PathBuf,
+    /// Connection attempts before giving up (per request round).
+    pub attempts: u32,
+    /// First backoff sleep, ms.
+    pub base_backoff_ms: u64,
+    /// Backoff cap, ms.
+    pub max_backoff_ms: u64,
+}
+
+impl ClientConfig {
+    /// Defaults for a socket path: 5 attempts, 50 ms doubling to 2 s.
+    pub fn new(socket: impl Into<PathBuf>) -> ClientConfig {
+        ClientConfig {
+            socket: socket.into(),
+            attempts: 5,
+            base_backoff_ms: 50,
+            max_backoff_ms: 2_000,
+        }
+    }
+}
+
+/// How a request round ended.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Outcome {
+    /// A `result` frame arrived.
+    Done {
+        /// Served from the cache (possibly on a different round than
+        /// the one that computed it).
+        cached: bool,
+        /// The artifact document.
+        artifact: Json,
+    },
+    /// The daemon shed the request.
+    Rejected {
+        /// `"overload"` or `"draining"`.
+        reason: String,
+        /// The daemon's suggested wait before retrying, ms.
+        retry_after_ms: u64,
+    },
+    /// A terminal `error` frame arrived.
+    Failed {
+        /// `bad_request` / `deadline` / `panic` / `internal`.
+        kind: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Connects with capped exponential backoff.
+fn connect(cfg: &ClientConfig) -> Result<UnixStream, String> {
+    let mut last = String::new();
+    for attempt in 0..cfg.attempts.max(1) {
+        if attempt > 0 {
+            let shift = attempt.min(16) - 1;
+            let sleep = cfg
+                .base_backoff_ms
+                .saturating_mul(1 << shift)
+                .min(cfg.max_backoff_ms);
+            std::thread::sleep(Duration::from_millis(sleep));
+        }
+        match UnixStream::connect(&cfg.socket) {
+            Ok(s) => return Ok(s),
+            Err(e) => last = e.to_string(),
+        }
+    }
+    Err(format!(
+        "could not connect to {} after {} attempt(s): {last}",
+        cfg.socket.display(),
+        cfg.attempts.max(1)
+    ))
+}
+
+/// Sends `request` (one line, no trailing newline required) and reads
+/// events until a terminal frame, invoking `on_event` with every raw
+/// line received (progress frames included). EOF before a terminal
+/// frame — a daemon crash or restart mid-request — reconnects and
+/// resends the same line, up to `cfg.attempts` rounds.
+pub fn request(
+    cfg: &ClientConfig,
+    request: &str,
+    mut on_event: impl FnMut(&str),
+) -> Result<Outcome, String> {
+    let line = format!("{}\n", request.trim_end());
+    let mut last = String::from("stream ended before a terminal event");
+    for _round in 0..cfg.attempts.max(1) {
+        let mut stream = connect(cfg)?;
+        if let Err(e) = stream
+            .write_all(line.as_bytes())
+            .and_then(|()| stream.flush())
+        {
+            last = format!("send: {e}");
+            continue;
+        }
+        // No read timeout: a long compute phase is legitimate silence.
+        // Hangs are the daemon watchdog's department, and deadlines
+        // ride inside the request itself.
+        let _ = stream.set_read_timeout(None);
+        match read_until_terminal(stream, &mut on_event) {
+            Ok(outcome) => return Ok(outcome),
+            Err(e) => last = e, // torn stream: reconnect and resend
+        }
+    }
+    Err(last)
+}
+
+/// Like [`request`], but sleeps out `overload` rejections (honoring
+/// the daemon's `retry_after_ms` hint, capped) and retries, up to
+/// `rounds` times. `draining` rejections are returned immediately —
+/// that daemon is going away; waiting on it is pointless.
+pub fn request_with_retry(
+    cfg: &ClientConfig,
+    req: &str,
+    rounds: u32,
+    mut on_event: impl FnMut(&str),
+) -> Result<Outcome, String> {
+    for _ in 0..rounds.max(1) {
+        match request(cfg, req, &mut on_event)? {
+            Outcome::Rejected {
+                reason,
+                retry_after_ms,
+            } if reason == "overload" => {
+                std::thread::sleep(Duration::from_millis(retry_after_ms.clamp(10, 10_000)));
+            }
+            other => return Ok(other),
+        }
+    }
+    Err(format!("still overloaded after {rounds} round(s)"))
+}
+
+fn read_until_terminal(
+    stream: UnixStream,
+    on_event: &mut impl FnMut(&str),
+) -> Result<Outcome, String> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Err("stream ended before a terminal event".into()),
+            Ok(_) => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(format!("read: {e}")),
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            continue;
+        }
+        on_event(trimmed);
+        let Ok(doc) = Json::parse(trimmed) else {
+            continue; // tolerate frames from a newer daemon
+        };
+        match doc.get("event").and_then(Json::as_str) {
+            Some("result") => {
+                return Ok(Outcome::Done {
+                    cached: doc.get("cached").and_then(Json::as_bool).unwrap_or(false),
+                    artifact: doc
+                        .get("artifact")
+                        .cloned()
+                        .ok_or_else(|| "result frame without artifact".to_string())?,
+                });
+            }
+            Some("error") => {
+                return Ok(Outcome::Failed {
+                    kind: doc
+                        .get("kind")
+                        .and_then(Json::as_str)
+                        .unwrap_or("internal")
+                        .to_string(),
+                    message: doc
+                        .get("message")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                });
+            }
+            Some("reject") => {
+                return Ok(Outcome::Rejected {
+                    reason: doc
+                        .get("reason")
+                        .and_then(Json::as_str)
+                        .unwrap_or("overload")
+                        .to_string(),
+                    retry_after_ms: doc
+                        .get("retry_after_ms")
+                        .and_then(Json::as_u64)
+                        .unwrap_or(1_000),
+                });
+            }
+            Some("pong") => {
+                return Ok(Outcome::Done {
+                    cached: false,
+                    artifact: doc,
+                });
+            }
+            _ => {} // hello / ack / cache_hit / start / progress frames
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Minimal dependency-free SIGTERM/SIGINT latching.
+//!
+//! The daemon needs exactly one bit from the OS: "a shutdown was
+//! requested". Rather than pull in a signal-handling crate (the build
+//! is offline), this module registers a tiny async-signal-safe handler
+//! via the libc `signal(2)` symbol that sets a static [`AtomicBool`]
+//! the accept loop polls. Everything heavier — draining the queue,
+//! refusing new work, exiting 0 — happens on normal threads.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the handler when SIGTERM or SIGINT arrives.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    /// `signal(2)` from libc. The return value (the previous handler)
+    /// is deliberately ignored.
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+extern "C" fn latch(_signum: i32) {
+    // A store to a static atomic is async-signal-safe.
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGTERM/SIGINT handler and returns the flag it sets.
+/// Idempotent; safe to call from tests (though tests normally use
+/// [`crate::daemon::DaemonHandle::shutdown`] instead of real signals).
+pub fn install() -> &'static AtomicBool {
+    unsafe {
+        signal(SIGTERM, latch);
+        signal(SIGINT, latch);
+    }
+    &SHUTDOWN
+}
+
+/// The flag without installing handlers (for tests).
+pub fn flag() -> &'static AtomicBool {
+    &SHUTDOWN
+}

@@ -1,0 +1,137 @@
+//! Shared plumbing for the serve integration suites: unique scratch
+//! paths (no wall-clock, no RNG — process id + a counter), a daemon
+//! spawner with chaos-friendly defaults, and a tiny line-frame client.
+
+// Each integration binary compiles its own copy; not every binary uses
+// every helper.
+#![allow(dead_code)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+
+use nox_analysis::json::Json;
+use nox_serve::daemon::{spawn, DaemonHandle, ServeConfig};
+
+static SCRATCH: AtomicU32 = AtomicU32::new(0);
+
+/// A unique socket + cache-dir pair under the system temp dir.
+pub fn scratch(tag: &str) -> (PathBuf, PathBuf) {
+    let n = SCRATCH.fetch_add(1, Ordering::Relaxed);
+    let base = std::env::temp_dir().join(format!("nox-serve-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    (base.join("sock"), base.join("cache"))
+}
+
+/// Spawns a daemon with chaos-test defaults: tiny thread pool, debug
+/// ops on, generous watchdog. Callers override fields via `tweak`.
+pub fn daemon(tag: &str, tweak: impl FnOnce(&mut ServeConfig)) -> (DaemonHandle, PathBuf, PathBuf) {
+    let (sock, cache) = scratch(tag);
+    let mut cfg = ServeConfig::new(&sock, &cache);
+    cfg.threads = 2;
+    cfg.debug_ops = true;
+    cfg.watchdog_ms = 60_000;
+    tweak(&mut cfg);
+    let handle = spawn(cfg, None).expect("daemon spawn");
+    (handle, sock, cache)
+}
+
+/// One framed connection: sends request lines, reads event frames.
+pub struct Conn {
+    writer: UnixStream,
+    reader: BufReader<UnixStream>,
+}
+
+impl Conn {
+    /// Connects (retrying briefly while the listener comes up) and
+    /// consumes the `hello` frame.
+    pub fn open(sock: &std::path::Path) -> Conn {
+        let mut stream = None;
+        for _ in 0..200 {
+            match UnixStream::connect(sock) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+        let writer = stream.expect("daemon socket never came up");
+        writer
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        let reader = BufReader::new(writer.try_clone().unwrap());
+        let mut conn = Conn { writer, reader };
+        let hello = conn.next_event();
+        assert_eq!(hello.get("event").and_then(Json::as_str), Some("hello"));
+        conn
+    }
+
+    /// Sends one request line.
+    pub fn send(&mut self, line: &str) {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .and_then(|()| self.writer.flush())
+            .expect("send request line");
+    }
+
+    /// Sends raw bytes, tolerating a mid-write hangup (the daemon may
+    /// legitimately close on us — oversized-line shedding does).
+    pub fn send_raw_lossy(&mut self, bytes: &[u8]) {
+        let _ = self
+            .writer
+            .write_all(bytes)
+            .and_then(|()| self.writer.flush());
+    }
+
+    /// Reads the next event frame (panics after the 60 s read timeout).
+    pub fn next_event(&mut self) -> Json {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self.reader.read_line(&mut line).expect("read event frame");
+            assert!(n > 0, "daemon closed the connection mid-stream");
+            if !line.trim().is_empty() {
+                return Json::parse(line.trim()).expect("event frame is valid JSON");
+            }
+        }
+    }
+
+    /// Reads frames until one matches `event`, returning it and the
+    /// frames skipped on the way (progress frames, usually).
+    pub fn wait_for(&mut self, event: &str) -> (Json, Vec<Json>) {
+        let mut skipped = Vec::new();
+        for _ in 0..10_000 {
+            let frame = self.next_event();
+            if frame.get("event").and_then(Json::as_str) == Some(event) {
+                return (frame, skipped);
+            }
+            skipped.push(frame);
+        }
+        panic!("no {event:?} frame within 10000 frames; saw {skipped:?}");
+    }
+
+    /// Reads frames until a terminal `result`/`error`/`reject` frame.
+    pub fn wait_terminal(&mut self) -> (Json, Vec<Json>) {
+        let mut skipped = Vec::new();
+        for _ in 0..10_000 {
+            let frame = self.next_event();
+            if matches!(
+                frame.get("event").and_then(Json::as_str),
+                Some("result" | "error" | "reject")
+            ) {
+                return (frame, skipped);
+            }
+            skipped.push(frame);
+        }
+        panic!("no terminal frame within 10000 frames; saw {skipped:?}");
+    }
+}
+
+/// The event kind of a frame.
+pub fn kind(frame: &Json) -> &str {
+    frame.get("event").and_then(Json::as_str).unwrap_or("?")
+}

@@ -19,6 +19,9 @@
 //! noxsim profile HARNESS [--quick|--smoke|--full] [--json] [--out FILE]
 //!                [--chrome FILE] [--threads N] [--stream FILE|-]
 //! noxsim bench-compare OLD.json NEW.json [--threshold PCT]
+//! noxsim serve   [--socket PATH] [--cache-dir DIR] [--queue-cap N] [--threads N]
+//!                [--deadline-ms N] [--watchdog-ms N] [--debug-ops]
+//! noxsim client  REQUEST_JSON [--socket PATH] [--attempts N] [--rounds N] [--quiet]
 //! noxsim info
 //! ```
 //!
@@ -63,7 +66,7 @@ fn main() -> ExitCode {
     // (`lint` roots, `profile` a harness name); every other command is
     // flags-only (parse_opts rejects bare args).
     let (positional, flags) = match cmd.as_str() {
-        "bench-compare" | "lint" | "profile" => {
+        "bench-compare" | "lint" | "profile" | "client" => {
             let n = rest
                 .iter()
                 .position(|a| a.starts_with("--"))
@@ -93,6 +96,8 @@ fn main() -> ExitCode {
         "faults" => cmd_faults(&opts),
         "profile" => cmd_profile(positional, &opts),
         "bench-compare" => cmd_bench_compare(positional, &opts),
+        "serve" => cmd_serve(&opts),
+        "client" => cmd_client(positional, &opts),
         "info" => cmd_info(),
         "help" | "--help" | "-h" => {
             usage();
@@ -127,6 +132,8 @@ fn usage() {
            faults   fault-injection campaigns: XOR-chain fragility + CRC/retransmission recovery (--json, --out FILE)\n\
            profile HARNESS  span-profile one figure harness; writes the nox-bench/profile/v1 artifact (--json, --out FILE, --chrome FILE)\n\
            bench-compare OLD.json NEW.json  diff two perf artifacts (--threshold PCT, default 10)\n\
+           serve    crash-safe simulation daemon on a Unix socket: bounded queue, deadlines, watchdog, SIGTERM drain, result cache (--socket, --cache-dir, --queue-cap, --threads, --deadline-ms, --watchdog-ms, --debug-ops)\n\
+           client REQUEST_JSON  send one request line to a serve daemon and stream its events (--socket PATH, --attempts N, --rounds N, --quiet)\n\
            info     clock periods, area, configuration summary\n\
          \n\
          common flags: --arch all|nonspec|fast|acc|nox   --cmesh   --csv\n\
@@ -169,6 +176,8 @@ fn parse_opts(rest: &[String]) -> Result<Opts, String> {
                 | "probe"
                 | "update-baseline"
                 | "audit"
+                | "debug-ops"
+                | "quiet"
         ) {
             opts.insert(name.to_string(), "true".into());
             continue;
@@ -1090,6 +1099,97 @@ fn cmd_bench_compare(paths: &[String], opts: &Opts) -> Result<(), String> {
         ));
     }
     Ok(())
+}
+
+#[cfg(not(unix))]
+fn cmd_serve(_opts: &Opts) -> Result<(), String> {
+    Err("serve needs Unix domain sockets; this build targets a non-Unix platform".into())
+}
+
+#[cfg(not(unix))]
+fn cmd_client(_positional: &[String], _opts: &Opts) -> Result<(), String> {
+    Err("client needs Unix domain sockets; this build targets a non-Unix platform".into())
+}
+
+#[cfg(unix)]
+fn u64_opt(opts: &Opts, key: &str, default: u64) -> Result<u64, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key}: bad integer {v:?}")),
+    }
+}
+
+/// Runs the crash-safe simulation daemon in the foreground until
+/// SIGTERM/SIGINT, then drains gracefully (finishes accepted work,
+/// refuses new requests) and exits 0. See DESIGN.md §15 for the wire
+/// protocol and failure-mode table.
+#[cfg(unix)]
+fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    use nox::serve::daemon::{run, ServeConfig};
+
+    let socket = opts
+        .get("socket")
+        .map(String::as_str)
+        .unwrap_or("nox-serve.sock");
+    let cache_dir = opts
+        .get("cache-dir")
+        .map(String::as_str)
+        .unwrap_or(".nox-serve-cache");
+    let mut cfg = ServeConfig::new(socket, cache_dir);
+    cfg.queue_cap = u64_opt(opts, "queue-cap", cfg.queue_cap as u64)? as usize;
+    if let Some(v) = opts.get("threads") {
+        cfg.threads = nox::exec::parse_threads(v).map_err(|e| format!("--threads: {e}"))?;
+    }
+    cfg.default_deadline_ms = u64_opt(opts, "deadline-ms", cfg.default_deadline_ms)?;
+    cfg.watchdog_ms = u64_opt(opts, "watchdog-ms", cfg.watchdog_ms)?;
+    cfg.debug_ops = opts.contains_key("debug-ops");
+    if cfg.queue_cap == 0 {
+        return Err("--queue-cap must be at least 1".into());
+    }
+    run(cfg).map(|_| ())
+}
+
+/// Sends one request line to a running serve daemon, printing every
+/// event frame as it streams back (suppress progress with --quiet).
+/// Exits nonzero on reject/error outcomes so scripts can gate on it.
+#[cfg(unix)]
+fn cmd_client(positional: &[String], opts: &Opts) -> Result<(), String> {
+    use nox::serve::client::{request_with_retry, ClientConfig, Outcome};
+
+    let [req] = positional else {
+        return Err(
+            "client needs one request line, e.g. '{\"req\":\"claims\",\"tier\":\"smoke\"}'".into(),
+        );
+    };
+    let socket = opts
+        .get("socket")
+        .map(String::as_str)
+        .unwrap_or("nox-serve.sock");
+    let mut cfg = ClientConfig::new(socket);
+    cfg.attempts = u64_opt(opts, "attempts", cfg.attempts as u64)? as u32;
+    let rounds = u64_opt(opts, "rounds", 1)? as u32;
+    let quiet = opts.contains_key("quiet");
+    let outcome = request_with_retry(&cfg, req, rounds, |line| {
+        if !quiet {
+            println!("{line}");
+        }
+    })?;
+    match outcome {
+        Outcome::Done { cached, artifact } => {
+            if quiet {
+                println!("{artifact}");
+            }
+            eprintln!("client: done (cached: {cached})");
+            Ok(())
+        }
+        Outcome::Rejected {
+            reason,
+            retry_after_ms,
+        } => Err(format!(
+            "rejected: {reason} (retry after {retry_after_ms} ms)"
+        )),
+        Outcome::Failed { kind, message } => Err(format!("{kind}: {message}")),
+    }
 }
 
 fn cmd_info() -> Result<(), String> {

@@ -17,6 +17,7 @@
 //! | [`statics`] | static design analysis: channel-dependency deadlock proofs, credit sizing, determinism lint |
 //! | [`telemetry`] | span profiler, metrics registry, and the line-delimited JSON event stream |
 //! | [`verify`] | bounded model checker for the protocol invariants + mutation smoke |
+//! | [`serve`] | crash-safe simulation daemon: Unix-socket service with backpressure, deadlines, a watchdog, and a content-addressed result cache |
 //!
 //! # Quickstart
 //!
@@ -53,6 +54,7 @@ pub use nox_fault as fault;
 pub use nox_power as power;
 #[cfg(feature = "probe")]
 pub use nox_probe as probe;
+pub use nox_serve as serve;
 pub use nox_sim as sim;
 pub use nox_statics as statics;
 pub use nox_telemetry as telemetry;

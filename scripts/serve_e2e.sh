@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# End-to-end exercise of `noxsim serve`: a real daemon process, real
+# signals, and a real kill -9 — the scenarios the in-process chaos
+# suite cannot stage. CI runs this as the scripted leg of the serve
+# job; it is also runnable locally:
+#
+#   cargo build --release -p nox
+#   scripts/serve_e2e.sh
+#
+# Override the binary with NOXSIM=/path/to/noxsim.
+set -euo pipefail
+
+NOXSIM="${NOXSIM:-target/release/noxsim}"
+if [ ! -x "$NOXSIM" ]; then
+    echo "error: $NOXSIM not built (cargo build --release -p nox)" >&2
+    exit 1
+fi
+
+workdir="$(mktemp -d)"
+sock="$workdir/nox.sock"
+cache="$workdir/cache"
+daemon_pid=""
+
+cleanup() {
+    [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+start_daemon() {
+    "$NOXSIM" serve --socket "$sock" --cache-dir "$cache" --queue-cap 4 &
+    daemon_pid=$!
+    # Wait for the socket to come up.
+    for _ in $(seq 1 100); do
+        [ -S "$sock" ] && return 0
+        sleep 0.1
+    done
+    echo "FAIL: daemon socket never appeared" >&2
+    exit 1
+}
+
+client() {
+    "$NOXSIM" client "$1" --socket "$sock"
+}
+
+SWEEP_A='{"req":"sweep","arch":"nox","rates":[500,1000],"len":1,"seed":7,"tier":"smoke","id":"a"}'
+SWEEP_B='{"req":"sweep","arch":"acc","rates":[800],"len":1,"seed":9,"tier":"smoke","id":"b"}'
+
+echo "== start daemon =="
+start_daemon
+
+echo "== two concurrent clients =="
+client "$SWEEP_A" > "$workdir/a.out" &
+pid_a=$!
+client "$SWEEP_B" > "$workdir/b.out" &
+pid_b=$!
+wait "$pid_a" "$pid_b"
+grep -q '"event":"result"' "$workdir/a.out"
+grep -q '"event":"result"' "$workdir/b.out"
+grep -q '"cached":false' "$workdir/a.out"
+# Live progress streamed to the requesting client.
+grep -q '"event":"stage"' "$workdir/a.out"
+
+echo "== repeated request is an observable cache hit =="
+client "$SWEEP_A" > "$workdir/a2.out"
+grep -q '"event":"cache_hit"' "$workdir/a2.out"
+grep -q '"cached":true' "$workdir/a2.out"
+# The cached artifact is byte-identical to the computed one.
+art1="$(grep '"event":"result"' "$workdir/a.out" | sed 's/.*"artifact"://;s/}$//')"
+art2="$(grep '"event":"result"' "$workdir/a2.out" | sed 's/.*"artifact"://;s/}$//')"
+[ "$art1" = "$art2" ] || { echo "FAIL: cached artifact differs from computed" >&2; exit 1; }
+
+echo "== SIGTERM drains gracefully and exits 0 =="
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+rc=$?
+daemon_pid=""
+[ "$rc" -eq 0 ] || { echo "FAIL: drain exited $rc" >&2; exit 1; }
+[ ! -S "$sock" ] || { echo "FAIL: socket not removed on drain" >&2; exit 1; }
+
+echo "== kill -9, then restart recovers the cache =="
+start_daemon
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+start_daemon
+client "$SWEEP_A" > "$workdir/a3.out"
+grep -q '"event":"cache_hit"' "$workdir/a3.out"
+grep -q '"cached":true' "$workdir/a3.out"
+
+echo "== malformed line is shed, daemon survives =="
+if client 'this is not json' > "$workdir/bad.out" 2>&1; then
+    echo "FAIL: malformed request exited 0" >&2
+    exit 1
+fi
+grep -q 'bad_request' "$workdir/bad.out"
+client '{"req":"ping","id":"still-alive"}' > "$workdir/ping.out"
+grep -q '"event":"pong"' "$workdir/ping.out"
+
+echo "== final drain =="
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+daemon_pid=""
+
+echo "serve e2e: all scenarios passed"
